@@ -1,0 +1,55 @@
+"""Shared benchmark machinery: chain scaling and device filling."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.distributed import Partition, partition_fixed
+from repro.hardware import STRATIX10, estimate_resources
+from repro.perf import model_multi_device, model_performance
+from repro.programs import chain
+from repro.programs.iterative import SCALING_DOMAIN
+
+
+def single_device_point(num_stencils: int, kernel: str = "jacobi3d",
+                        vectorization: int = 1,
+                        ops_per_stencil: Optional[int] = None):
+    """Modeled single-device performance of a chain design."""
+    program = chain(num_stencils, shape=SCALING_DOMAIN, kernel=kernel,
+                    vectorization=vectorization,
+                    ops_per_stencil=ops_per_stencil)
+    return model_performance(program, STRATIX10)
+
+
+def multi_device_point(num_stencils: int, num_devices: int,
+                       kernel: str = "jacobi3d", vectorization: int = 1,
+                       ops_per_stencil: Optional[int] = None):
+    """Modeled chain split evenly across ``num_devices`` devices."""
+    program = chain(num_stencils, shape=SCALING_DOMAIN, kernel=kernel,
+                    vectorization=vectorization,
+                    ops_per_stencil=ops_per_stencil)
+    per_device = -(-num_stencils // num_devices)
+    placement = {f"s{n}": min(n // per_device, num_devices - 1)
+                 for n in range(num_stencils)}
+    partition = partition_fixed(program, placement)
+    return model_multi_device(program, partition, STRATIX10)
+
+
+def fill_device(kernel: str, vectorization: int = 1,
+                ops_per_stencil: Optional[int] = None,
+                shape=SCALING_DOMAIN,
+                platform=STRATIX10,
+                upper: int = 256) -> int:
+    """Largest chain length that fits one device (the paper's method of
+    growing the chain until the FPGA is fully utilized)."""
+    lo, hi = 1, upper
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        program = chain(mid, shape=shape, kernel=kernel,
+                        vectorization=vectorization,
+                        ops_per_stencil=ops_per_stencil)
+        if estimate_resources(program, platform).fits:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

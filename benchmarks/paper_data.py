@@ -1,0 +1,80 @@
+"""The paper's reported numbers, used as the comparison baseline.
+
+Each benchmark prints these next to our modeled/simulated values and
+asserts *shape* properties (orderings, scaling factors, saturation
+points), not absolute equality — see DESIGN.md Sec. 4.
+"""
+
+# Fig. 14: FP32, 8 Op/stencil, 2^15 x 32 x 32 domain, no vectorization.
+# Single node: (ops per cycle, GOp/s); multi node: (devices, ops, GOp/s).
+FIG14_SINGLE = [
+    (128, 40), (256, 79), (384, 118), (512, 153),
+    (640, 198), (768, 232), (896, 264),
+]
+FIG14_MULTI = [(2, 1792, 388), (4, 3584, 771), (8, 7168, 1537)]
+
+# Fig. 15: FP32, W = 4, 24 Op/stencil, same domain.
+FIG15_SINGLE = [
+    (512, 119), (1024, 234), (1536, 334),
+    (2048, 441), (2560, 503), (3072, 568),
+]
+FIG15_MULTI = [(2, 6144, 1129), (4, 12288, 2287), (8, 24576, 4178)]
+
+# Tab. I: kernel -> (GOp/s, ALM, FF, M20K, DSP) on Stratix 10.
+TAB1 = {
+    "jacobi3d_w1": (265, 233_000, 534_000, 1495, 784),
+    "jacobi3d_w8": (921, 437_000, 1_207_000, 2285, 3072),
+    "diffusion2d_w8": (1313, 449_000, 1_329_000, 2565, 2304),
+    "diffusion3d_w8": (1152, 567_000, 1_606_000, 5357, 3072),
+}
+TAB1_AVAILABLE = (692_000, 2_800_000, 8_900, 4_468)
+
+# Fig. 16: scalar rows: (operands/cycle, measured GB/s, efficiency).
+FIG16_SCALAR = [
+    (8, 10.2, 1.00), (16, 20.2, 1.00), (24, 29.9, 1.00),
+    (32, 34.8, 0.89), (40, 35.7, 0.74), (48, 36.4, 0.62),
+]
+FIG16_VECTOR = [
+    (8, 9.9, 0.99), (16, 20.3, 0.99), (24, 30.2, 0.99),
+    (32, 40.2, 0.99), (40, 49.3, 0.97), (48, 58.3, 0.94),
+]
+FIG16_SCALAR_SATURATION = 36.4   # GB/s, 47% of 76.8 peak
+FIG16_VECTOR_SATURATION = 58.3   # GB/s, 76% of peak
+
+# Tab. II: horizontal diffusion, 128 x 128 x 80, FP32.
+# platform -> (runtime_us, GOp/s, peak BW GB/s or None, %roof or None)
+TAB2 = {
+    "stratix10": (1178, 145, 77, 0.52),
+    "stratix10_inf": (332, 513, None, None),
+    "xeon": (5270, 32, 68, 0.13),
+    "p100": (810, 210, 732, 0.08),
+    "v100": (201, 849, 900, 0.26),
+}
+
+# Sec. IX-A analysis numbers.
+SEC9A_AI_OPS_PER_OPERAND = 130 / 9
+SEC9A_AI_OPS_PER_BYTE = 65 / 18
+SEC9A_ROOF_AT_MEASURED_BW = 210.5   # GOp/s at 58.3 GB/s
+SEC9A_ROOF_AT_PEAK_BW = 277.3       # GOp/s at 76.8 GB/s
+SEC9A_REQUIRED_BW = 254.0           # GB/s to saturate 917.1 GOp/s
+
+# Sec. IX-C silicon efficiency, GOp/s per mm^2.
+SEC9C = {
+    "stratix10": 0.21,
+    "stratix10_inf": 0.71,
+    "p100": 0.34,
+    "v100": 1.04,
+}
+
+
+def print_table(title, header, rows):
+    """Uniform fixed-width table output for all benchmarks."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows),
+                                   default=0))
+              for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

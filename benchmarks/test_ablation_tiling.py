@@ -1,0 +1,68 @@
+"""Ablation: spatial tiling (Sec. IX-D).
+
+The paper did not need spatial tiling — memory bandwidth and logic
+bound before on-chip memory — but describes it as the path to larger
+domains: redundant computation at tile boundaries proportional to DAG
+depth and the tile's surface-to-volume ratio. This ablation sweeps tile
+sizes for the horizontal-diffusion DAG and measures the
+redundancy/memory trade-off the paper predicts.
+"""
+
+import pytest
+
+from repro.analysis import accumulated_halo, plan_tiling
+from repro.programs import chain, horizontal_diffusion
+
+from paper_data import print_table
+
+
+def _sweep():
+    program = horizontal_diffusion(shape=(256, 256, 8))
+    rows = []
+    for tile in (256, 128, 64, 32):
+        plan = plan_tiling(program, (tile, tile))
+        rows.append((f"{tile}x{tile}",
+                     plan.num_tiles,
+                     round(plan.redundancy, 3),
+                     plan.buffer_bytes() // 1024))
+    return program, rows
+
+
+def test_ablation_tiling(benchmark):
+    program, rows = benchmark(_sweep)
+    print_table(
+        "Ablation: spatial tiling of hdiff (256 x 256 x 8)",
+        ("tile", "tiles", "redundancy", "buffer KiB"), rows)
+
+    redundancy = [r[2] for r in rows]
+    buffers = [r[3] for r in rows]
+    # Smaller tiles: more redundant compute, less on-chip memory —
+    # the surface-to-volume trade-off.
+    assert all(b <= a for a, b in zip(redundancy, redundancy[1:])) \
+        is False  # redundancy increases as tiles shrink
+    assert all(b >= a for a, b in zip(redundancy, redundancy[1:]))
+    assert all(b <= a for a, b in zip(buffers, buffers[1:]))
+
+    # The halo is the DAG-depth reach (3 for hdiff), so a 32-wide tile
+    # pays (32+6)^2/32^2 - 1 = ~41% redundancy.
+    halo = accumulated_halo(program)
+    assert halo == {"i": 3, "j": 3}
+    expected = ((32 + 6) ** 2) / (32 ** 2)
+    assert rows[-1][2] == pytest.approx(expected, rel=0.01)
+
+
+def test_ablation_tiling_depth(benchmark):
+    """Redundancy grows with DAG depth at a fixed tile size."""
+    def sweep():
+        out = []
+        for depth in (1, 2, 4, 8):
+            program = chain(depth, shape=(128, 128, 16))
+            plan = plan_tiling(program, (32, 32))
+            out.append((depth, round(plan.redundancy, 3)))
+        return out
+
+    rows = benchmark(sweep)
+    print_table("Ablation: tiling redundancy vs DAG depth (32x32 tiles)",
+                ("chain depth", "redundancy"), rows)
+    values = [r[1] for r in rows]
+    assert all(b > a for a, b in zip(values, values[1:]))

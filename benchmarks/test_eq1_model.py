@@ -1,0 +1,100 @@
+"""Eq. 1 — the expected-runtime model ``C = L + I*N`` vs. simulation.
+
+Every StencilFlow architecture is fully pipelined at I = 1, so the
+cycle count of a deadlock-free design should track ``L + N/W``. We run
+the cycle-level simulator over a sweep of programs and domain sizes and
+compare against the model: measured cycles never exceed the model
+(L is computed conservatively) and converge to N/W as the domain grows
+(the paper's observation that L is proportional to D-1 or fewer
+dimensions and becomes negligible on large domains).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_buffers
+from repro.core import StencilProgram
+from repro.programs import build, chain
+from repro.simulator import simulate
+
+from paper_data import print_table
+
+
+def _inputs(program, seed=3):
+    rng = np.random.default_rng(seed)
+    out = {}
+    for name, spec in program.inputs.items():
+        shape = spec.shape(program.shape, program.index_names)
+        out[name] = rng.random(shape).astype(np.float32) if shape \
+            else np.float32(rng.random())
+    return out
+
+
+def _cases():
+    yield "chain3 8x8x8", chain(3, shape=(8, 8, 8))
+    yield "chain3 8x8x8 W4", chain(3, shape=(8, 8, 8), vectorization=4)
+    yield "laplace2d 24x24", build("laplace2d", shape=(24, 24))
+    yield "jacobi3d 8x8x8", build("jacobi3d", shape=(8, 8, 8))
+    yield "diamond 6x10x10", _diamond((6, 10, 10))
+
+
+def _diamond(shape):
+    return StencilProgram.from_json({
+        "name": "diamond",
+        "inputs": {"a": {"dtype": "float32", "dims": ["i", "j", "k"]}},
+        "outputs": ["j2"],
+        "shape": list(shape),
+        "program": {
+            "s": {"code": "a[i,j,k] * 2.0",
+                  "boundary_condition": "shrink"},
+            "l": {"code": "s[i,j-1,k] + s[i,j+1,k]",
+                  "boundary_condition": "shrink"},
+            "j2": {"code": "s[i,j,k] + l[i,j,k]",
+                   "boundary_condition": "shrink"},
+        },
+    })
+
+
+def _run_sweep():
+    rows = []
+    for name, program in _cases():
+        result = simulate(program, _inputs(program))
+        steady = program.num_cells // program.vectorization
+        rows.append((name, result.expected_cycles, result.cycles,
+                     steady, round(result.model_accuracy, 3)))
+    return rows
+
+
+def test_eq1_agreement(benchmark):
+    rows = benchmark(_run_sweep)
+    print_table("Eq. 1: C = L + I*N vs simulated cycles",
+                ("program", "model C", "simulated", "N/W", "ratio"),
+                rows)
+    for name, model, simulated, steady, _ratio in rows:
+        # The model upper-bounds the stall-free machine...
+        assert simulated <= model, name
+        # ...and the machine can never beat the steady-state bound.
+        assert simulated >= steady, name
+        # Agreement within 25% (L is conservative).
+        assert simulated > 0.75 * model or model - simulated < 128, name
+
+
+def test_eq1_latency_amortizes(benchmark):
+    """L/N falls as the domain grows: larger domains raise the ratio of
+    useful cycles to initialization cycles (Sec. VIII-A)."""
+    def sweep():
+        fractions = []
+        for extent in (8, 16, 32):
+            program = chain(3, shape=(extent, 8, 8))
+            analysis = analyze_buffers(program)
+            steady = program.num_cells
+            fractions.append(analysis.pipeline_latency
+                             / (analysis.pipeline_latency + steady))
+        return fractions
+
+    fractions = benchmark(sweep)
+    print_table("Eq. 1: init-latency fraction vs domain size",
+                ("outer extent", "L / C"),
+                [(e, round(f, 4))
+                 for e, f in zip((8, 16, 32), fractions)])
+    assert fractions[0] > fractions[1] > fractions[2]

@@ -1,0 +1,63 @@
+"""Fig. 14 — performance scaling for single and multi-node, W = 1.
+
+The paper chains 8-Op stencils over a 2^15 x 32 x 32 domain, growing
+the chain until a single Stratix 10 is full (896 Op/cycle, 264 GOp/s),
+then continues across 2/4/8 FPGAs (388/771/1537 GOp/s). We model the
+same sweep with the pipeline model (Eq. 1), the resource/frequency
+models, and the multi-node clock calibration.
+"""
+
+import pytest
+
+from harness import multi_device_point, single_device_point
+from paper_data import FIG14_MULTI, FIG14_SINGLE, print_table
+
+OPS_PER_STENCIL = 8
+
+
+def _sweep():
+    rows = []
+    measured = {}
+    for ops_per_cycle, paper_gops in FIG14_SINGLE:
+        stencils = ops_per_cycle // OPS_PER_STENCIL
+        report = single_device_point(stencils, "jacobi3d")
+        measured[ops_per_cycle] = report.gops
+        rows.append((f"1 dev, {ops_per_cycle} Op/c", paper_gops,
+                     round(report.gops, 1),
+                     round(report.frequency_mhz, 1)))
+    for devices, ops_per_cycle, paper_gops in FIG14_MULTI:
+        stencils = ops_per_cycle // OPS_PER_STENCIL
+        report = multi_device_point(stencils, devices, "jacobi3d")
+        measured[ops_per_cycle] = report.gops
+        rows.append((f"{devices} dev, {ops_per_cycle} Op/c", paper_gops,
+                     round(report.gops, 1),
+                     round(report.frequency_mhz, 1)))
+    return rows, measured
+
+
+def test_fig14_scaling(benchmark):
+    rows, measured = benchmark(_sweep)
+    print_table("Fig. 14: iterative stencil scaling (W = 1)",
+                ("configuration", "paper GOp/s", "ours GOp/s", "f MHz"),
+                rows)
+
+    # Shape assertions: monotone scaling with the chain length.
+    single = [measured[o] for o, _p in FIG14_SINGLE]
+    assert all(b > a for a, b in zip(single, single[1:]))
+
+    # Single-device points track the paper within 25%.
+    for ops_per_cycle, paper in FIG14_SINGLE:
+        ours = measured[ops_per_cycle]
+        assert ours == pytest.approx(paper, rel=0.25), \
+            f"{ops_per_cycle} Op/c: {ours:.0f} vs paper {paper}"
+
+    # Multi-device keeps scaling: 8 FPGAs beat a single device by >4x,
+    # and each doubling of the chain+devices roughly doubles GOp/s.
+    assert measured[7168] > 4 * measured[896]
+    for (d1, o1, _), (d2, o2, _) in zip(FIG14_MULTI, FIG14_MULTI[1:]):
+        ratio = measured[o2] / measured[o1]
+        assert 1.7 < ratio < 2.3
+
+    # Multi-node points within 25% of the paper.
+    for _devices, ops_per_cycle, paper in FIG14_MULTI:
+        assert measured[ops_per_cycle] == pytest.approx(paper, rel=0.25)

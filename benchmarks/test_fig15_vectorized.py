@@ -1,0 +1,76 @@
+"""Fig. 15 — performance scaling with 4-way vectorization.
+
+24-Op stencils at W = 4 over the 2^15 x 32 x 32 domain: the paper
+reaches 568 GOp/s on one device and 1129/2287/4178 GOp/s on 2/4/8.
+Vectorization coarsens the stencil nodes (more useful ops per unit of
+pipeline overhead), which is what pushes utilization — and performance
+— past the scalar experiment.
+
+Note on fidelity: the paper's measured single-node bars fall below its
+own Eq. 1 upper bound at high Op/cycle (568 GOp/s at 3072 Op/cycle
+implies ~185 MHz, while Tab. I designs of similar size close at
+~300 MHz). Our model follows Eq. 1 with the calibrated frequency curve,
+so it tracks the paper's dashed upper-bound line; we therefore assert
+shape (monotonicity, the vectorization win, multi-node scaling ratios)
+and compare multi-node points, where the calibrated 215 MHz clock
+applies, more tightly.
+"""
+
+import pytest
+
+from harness import multi_device_point, single_device_point
+from paper_data import FIG15_MULTI, FIG15_SINGLE, print_table
+
+OPS_PER_STENCIL = 24
+WIDTH = 4
+
+
+def _sweep():
+    rows = []
+    measured = {}
+    for ops_per_cycle, paper_gops in FIG15_SINGLE:
+        stencils = ops_per_cycle // (OPS_PER_STENCIL * WIDTH)
+        report = single_device_point(stencils, "dense",
+                                     vectorization=WIDTH,
+                                     ops_per_stencil=OPS_PER_STENCIL)
+        measured[ops_per_cycle] = report.gops
+        rows.append((f"1 dev, {ops_per_cycle} Op/c", paper_gops,
+                     round(report.gops, 1),
+                     round(report.frequency_mhz, 1)))
+    for devices, ops_per_cycle, paper_gops in FIG15_MULTI:
+        stencils = ops_per_cycle // (OPS_PER_STENCIL * WIDTH)
+        report = multi_device_point(stencils, devices, "dense",
+                                    vectorization=WIDTH,
+                                    ops_per_stencil=OPS_PER_STENCIL)
+        measured[ops_per_cycle] = report.gops
+        rows.append((f"{devices} dev, {ops_per_cycle} Op/c", paper_gops,
+                     round(report.gops, 1),
+                     round(report.frequency_mhz, 1)))
+    return rows, measured
+
+
+def test_fig15_vectorized(benchmark):
+    rows, measured = benchmark(_sweep)
+    print_table("Fig. 15: iterative stencil scaling (W = 4)",
+                ("configuration", "paper GOp/s", "ours GOp/s", "f MHz"),
+                rows)
+
+    single = [measured[o] for o, _p in FIG15_SINGLE]
+    assert all(b > a for a, b in zip(single, single[1:]))
+
+    # Vectorization is the point of this figure: the W=4 sweep's top
+    # point beats the best scalar single-device result (264 GOp/s).
+    assert measured[3072] > 264
+
+    # Multi-node scaling ratios ~2x per doubling, as in the paper
+    # (1129 -> 2287 -> 4178).
+    for (d1, o1, _), (d2, o2, _) in zip(FIG15_MULTI, FIG15_MULTI[1:]):
+        ratio = measured[o2] / measured[o1]
+        assert 1.7 < ratio < 2.3
+
+    # Multi-node absolute points within 35% of the paper.
+    for _devices, ops_per_cycle, paper in FIG15_MULTI:
+        assert measured[ops_per_cycle] == pytest.approx(paper, rel=0.35)
+
+    # 8-FPGA point lands in the paper's headline territory (~4.2 TOp/s).
+    assert 2800 < measured[24576] < 6000

@@ -1,0 +1,79 @@
+"""Fig. 16 — effective off-chip bandwidth vs. parallel access points.
+
+Scalar access points saturate the Stratix 10 memory-controller crossbar
+at 36.4 GB/s (47% of the 76.8 GB/s peak) past ~24 operands/cycle;
+4-way vectorized access points reach 58.3 GB/s (76%). We sweep the
+calibrated crossbar model over the paper's x-axis and compare both the
+served bandwidth and the efficiency fractions printed on the bars.
+"""
+
+import pytest
+
+from repro.hardware import BandwidthModel
+
+from paper_data import (
+    FIG16_SCALAR,
+    FIG16_SCALAR_SATURATION,
+    FIG16_VECTOR,
+    FIG16_VECTOR_SATURATION,
+    print_table,
+)
+
+#: The paper's bandwidth microbenchmarks run near peak clock.
+FREQUENCY_MHZ = 317.0
+
+
+def _sweep():
+    model = BandwidthModel()
+    scalar = {}
+    vector = {}
+    for operands, _paper_gbs, _eff in FIG16_SCALAR:
+        scalar[operands] = (
+            model.effective_gbs(operands, FREQUENCY_MHZ, vector_width=1),
+            model.efficiency(operands, FREQUENCY_MHZ, vector_width=1),
+        )
+    for operands, _paper_gbs, _eff in FIG16_VECTOR:
+        vector[operands] = (
+            model.effective_gbs(operands, FREQUENCY_MHZ, vector_width=4),
+            model.efficiency(operands, FREQUENCY_MHZ, vector_width=4),
+        )
+    return scalar, vector
+
+
+def test_fig16_bandwidth(benchmark):
+    scalar, vector = benchmark(_sweep)
+    rows = []
+    for operands, paper_gbs, paper_eff in FIG16_SCALAR:
+        gbs, eff = scalar[operands]
+        rows.append((f"scalar {operands}", paper_gbs, round(gbs, 1),
+                     f"{paper_eff:.2f}", f"{eff:.2f}"))
+    for operands, paper_gbs, paper_eff in FIG16_VECTOR:
+        gbs, eff = vector[operands]
+        rows.append((f"W=4 {operands}", paper_gbs, round(gbs, 1),
+                     f"{paper_eff:.2f}", f"{eff:.2f}"))
+    print_table(
+        "Fig. 16: effective bandwidth (operands/cycle requested)",
+        ("access points", "paper GB/s", "ours GB/s", "paper eff",
+         "ours eff"), rows)
+
+    # Absolute served bandwidth within 10% of every measured bar.
+    for operands, paper_gbs, _eff in FIG16_SCALAR:
+        assert scalar[operands][0] == pytest.approx(paper_gbs, rel=0.10)
+    for operands, paper_gbs, _eff in FIG16_VECTOR:
+        assert vector[operands][0] == pytest.approx(paper_gbs, rel=0.10)
+
+    # Scalar saturates at ~47% of peak; vectorized at ~76%.
+    model = BandwidthModel()
+    big = model.effective_gbs(200, FREQUENCY_MHZ, vector_width=1)
+    assert big == pytest.approx(FIG16_SCALAR_SATURATION, rel=0.02)
+    big_v = model.effective_gbs(200, FREQUENCY_MHZ, vector_width=4)
+    assert big_v == pytest.approx(FIG16_VECTOR_SATURATION, rel=0.02)
+    assert big / 76.8 == pytest.approx(0.47, abs=0.02)
+    assert big_v / 76.8 == pytest.approx(0.76, abs=0.02)
+
+    # Efficiency is monotonically non-increasing with load, and the
+    # vectorized curve dominates the scalar one at equal load.
+    effs = [scalar[o][1] for o, _g, _e in FIG16_SCALAR]
+    assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+    for operands, _g, _e in FIG16_SCALAR[3:]:
+        assert vector[operands][0] >= scalar[operands][0]

@@ -1,0 +1,104 @@
+"""Sec. IX-A — horizontal diffusion analysis: census, intensity, roofs.
+
+These are the paper's analytical numbers, which our program
+construction and accounting reproduce exactly:
+
+* operation census 87 add / 41 mul / 2 sqrt / 2 min / 2 max and 20
+  data-dependent branches;
+* reads 5 IJK + 5 I operands, writes 4 IJK;
+* arithmetic intensity 130/9 Op/operand = 65/18 Op/B (Eq. 2);
+* bandwidth roofline 210.5 GOp/s at the measured 58.3 GB/s (Eq. 3),
+  277.3 GOp/s at the 76.8 GB/s peak;
+* 254 GB/s required to sustain 917.1 GOp/s at this intensity (Eq. 4).
+"""
+
+import pytest
+
+from repro.analysis import analyze_buffers
+from repro.perf import (
+    arithmetic_intensity_ops_per_byte,
+    arithmetic_intensity_ops_per_operand,
+    model_performance,
+    operand_traffic,
+    program_census,
+    required_bandwidth_gbs,
+    roofline_gops,
+)
+from repro.programs import PAPER_CENSUS, horizontal_diffusion
+
+from paper_data import (
+    SEC9A_AI_OPS_PER_BYTE,
+    SEC9A_AI_OPS_PER_OPERAND,
+    SEC9A_REQUIRED_BW,
+    SEC9A_ROOF_AT_MEASURED_BW,
+    SEC9A_ROOF_AT_PEAK_BW,
+    print_table,
+)
+
+
+def _analyze():
+    program = horizontal_diffusion()
+    census = program_census(program)
+    traffic = operand_traffic(program)
+    ai_operand = arithmetic_intensity_ops_per_operand(program)
+    ai_byte = arithmetic_intensity_ops_per_byte(program)
+    return program, census, traffic, ai_operand, ai_byte
+
+
+def test_sec9a_analysis(benchmark):
+    program, census, traffic, ai_operand, ai_byte = benchmark(_analyze)
+
+    i, j, k = program.shape
+    rows = [
+        ("adds", PAPER_CENSUS["adds"], census.adds),
+        ("multiplies", PAPER_CENSUS["multiplies"], census.multiplies),
+        ("sqrts", PAPER_CENSUS["sqrts"], census.sqrts),
+        ("mins", PAPER_CENSUS["mins"], census.mins),
+        ("maxs", PAPER_CENSUS["maxs"], census.maxs),
+        ("data-dep branches", PAPER_CENSUS["data_dependent_branches"],
+         census.data_dependent_branches),
+        ("read operands", 5 * i * j * k + 5 * i, traffic.read_operands),
+        ("write operands", 4 * i * j * k, traffic.write_operands),
+        ("AI [Op/operand]", round(SEC9A_AI_OPS_PER_OPERAND, 4),
+         round(ai_operand, 4)),
+        ("AI [Op/B]", round(SEC9A_AI_OPS_PER_BYTE, 4),
+         round(ai_byte, 4)),
+        ("roof @ 58.3 GB/s", SEC9A_ROOF_AT_MEASURED_BW,
+         round(roofline_gops(ai_byte, 58.3), 1)),
+        ("roof @ 76.8 GB/s", SEC9A_ROOF_AT_PEAK_BW,
+         round(roofline_gops(ai_byte, 76.8), 1)),
+        ("BW for 917.1 GOp/s", SEC9A_REQUIRED_BW,
+         round(required_bandwidth_gbs(917.1, ai_byte), 1)),
+    ]
+    print_table("Sec. IX-A: horizontal diffusion analysis",
+                ("quantity", "paper", "ours"), rows)
+
+    # Exact census match.
+    for key, value in PAPER_CENSUS.items():
+        assert getattr(census, key) == value, key
+    assert census.divides == 0
+
+    # Exact operand accounting (5 IJK + 5 I reads, 4 IJK writes).
+    assert traffic.read_operands == 5 * i * j * k + 5 * i
+    assert traffic.write_operands == 4 * i * j * k
+
+    # Intensity and roofline algebra to within rounding.
+    assert ai_operand == pytest.approx(SEC9A_AI_OPS_PER_OPERAND,
+                                       rel=1e-3)
+    assert ai_byte == pytest.approx(SEC9A_AI_OPS_PER_BYTE, rel=1e-3)
+    assert roofline_gops(ai_byte, 58.3) == pytest.approx(
+        SEC9A_ROOF_AT_MEASURED_BW, rel=0.01)
+    assert roofline_gops(ai_byte, 76.8) == pytest.approx(
+        SEC9A_ROOF_AT_PEAK_BW, rel=0.01)
+    assert required_bandwidth_gbs(917.1, ai_byte) == pytest.approx(
+        SEC9A_REQUIRED_BW, rel=0.01)
+
+
+def test_sec9a_latency_negligible(benchmark):
+    """The fused program's init latency is ~0.7% of total iterations."""
+    program = horizontal_diffusion(vectorization=8)
+    report = benchmark(model_performance, program)
+    # L is proportional to D-1 dims, so it vanishes for large domains.
+    assert report.latency_fraction < 0.05
+    analysis = analyze_buffers(program)
+    assert analysis.pipeline_latency > 0

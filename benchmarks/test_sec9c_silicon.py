@@ -1,0 +1,42 @@
+"""Sec. IX-C — silicon efficiency of the horizontal-diffusion run.
+
+GOp/s per mm^2 of die: Stratix 10 (700 mm^2, Intel 14 nm) at 0.21
+memory-bound and 0.71 without the memory bottleneck; P100 (610 mm^2,
+TSMC 16 nm) at 0.34; V100 (815 mm^2, TSMC 12 nm) at 1.04.
+"""
+
+import pytest
+
+from repro.perf import hdiff_comparison_table
+from repro.programs import horizontal_diffusion
+
+from paper_data import SEC9C, print_table
+
+_KEYS = ["stratix10", "stratix10_inf", "xeon", "p100", "v100"]
+
+
+def _run():
+    program = horizontal_diffusion(vectorization=8)
+    table = hdiff_comparison_table(program)
+    return dict(zip(_KEYS, table))
+
+
+def test_sec9c_silicon(benchmark):
+    by_key = benchmark(_run)
+    rows = []
+    for key, paper in SEC9C.items():
+        ours = by_key[key].silicon_efficiency
+        rows.append((by_key[key].platform[:34], paper, round(ours, 2)))
+    print_table("Sec. IX-C: silicon efficiency [GOp/s per mm^2]",
+                ("platform", "paper", "ours"), rows)
+
+    for key, paper in SEC9C.items():
+        ours = by_key[key].silicon_efficiency
+        assert paper / 1.6 < ours < paper * 1.6, \
+            f"{key}: {ours:.2f} vs paper {paper}"
+
+    # Orderings: V100 is the most silicon-efficient; removing the
+    # memory bottleneck brings the FPGA past the P100.
+    eff = {k: by_key[k].silicon_efficiency for k in SEC9C}
+    assert eff["v100"] == max(eff.values())
+    assert eff["stratix10_inf"] > eff["p100"] > eff["stratix10"]

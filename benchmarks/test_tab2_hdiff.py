@@ -1,0 +1,68 @@
+"""Tab. II — horizontal diffusion on Stratix 10, Xeon, P100, V100.
+
+The COSMO horizontal-diffusion program (128 x 128 x 80, FP32, W = 8;
+W = 16 for the simulated-infinite-memory variant) is bandwidth-bound on
+the Stratix 10. The FPGA rows come from our pipeline + crossbar models;
+the CPU/GPU rows are roofline machines at the paper's measured
+efficiency fractions (see DESIGN.md substitutions).
+"""
+
+import pytest
+
+from repro.perf import hdiff_comparison_table
+from repro.programs import horizontal_diffusion
+
+from paper_data import TAB2, print_table
+
+_KEYS = ["stratix10", "stratix10_inf", "xeon", "p100", "v100"]
+
+
+def _run():
+    program = horizontal_diffusion(vectorization=8)
+    return hdiff_comparison_table(program)
+
+
+def test_tab2_hdiff(benchmark):
+    results = benchmark(_run)
+    by_key = dict(zip(_KEYS, results))
+
+    rows = []
+    for key in _KEYS:
+        paper_rt, paper_gops, paper_bw, paper_roof = TAB2[key]
+        ours = by_key[key]
+        roof = f"{ours.roof_fraction:.0%}" if ours.roof_fraction else "-"
+        paper_roof_text = f"{paper_roof:.0%}" if paper_roof else "-"
+        rows.append((ours.platform[:34],
+                     paper_rt, round(ours.runtime_us),
+                     paper_gops, round(ours.gops),
+                     paper_roof_text, roof))
+    print_table(
+        "Tab. II: horizontal diffusion, paper vs ours",
+        ("platform", "paper us", "ours us", "paper GOp/s", "ours GOp/s",
+         "paper %roof", "ours %roof"), rows)
+
+    # Absolute agreement: every row within a factor of 2 of the paper
+    # (FPGA rows considerably closer).
+    for key in _KEYS:
+        paper_rt = TAB2[key][0]
+        ours = by_key[key].runtime_us
+        assert paper_rt / 2 < ours < paper_rt * 2, \
+            f"{key}: {ours:.0f} us vs paper {paper_rt}"
+    assert by_key["stratix10"].runtime_us == pytest.approx(1178, rel=0.1)
+    assert by_key["stratix10"].gops == pytest.approx(145, rel=0.1)
+
+    # The ordering story of the paper: V100 fastest, then (infinite-BW
+    # FPGA beats P100), P100, memory-bound FPGA, Xeon slowest.
+    gops = {k: by_key[k].gops for k in _KEYS}
+    assert gops["v100"] == max(gops.values())
+    assert gops["stratix10_inf"] > gops["p100"]
+    assert gops["stratix10_inf"] < gops["v100"]
+    assert gops["stratix10"] > 4 * gops["xeon"]
+    assert gops["p100"] > gops["stratix10"]
+
+    # The FPGA achieves the highest fraction of its own roofline.
+    fractions = {k: by_key[k].roof_fraction for k in _KEYS
+                 if by_key[k].roof_fraction}
+    assert max(fractions, key=fractions.get) == "stratix10"
+    assert by_key["stratix10"].roof_fraction == pytest.approx(0.52,
+                                                              abs=0.05)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Deadlock demo: why delay buffers exist (Fig. 4).
+
+Builds the paper's A/B/C reconvergent graph, shows it deadlocking in
+the cycle-level simulator when channels are minimally sized, then shows
+the delay-buffer analysis fixing it — with the circular wait printed
+for inspection.
+
+Run:  python examples/deadlock_demo.py
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_buffers, certify, required_capacities
+from repro.core import StencilProgram
+from repro.errors import DeadlockError
+from repro.graph import StencilGraph
+from repro.simulator import SimulatorConfig, simulate
+
+SHAPE = (4, 12, 12)
+
+PROGRAM = {
+    "name": "fig4",
+    "inputs": {"inp": {"dtype": "float32", "dims": ["i", "j", "k"]}},
+    "outputs": ["c"],
+    "shape": list(SHAPE),
+    "program": {
+        # A feeds both B and C; B needs a j-window of A before it can
+        # produce anything, so C's direct edge from A runs ahead.
+        "a": {"code": "inp[i,j,k] + 1.0", "boundary_condition": "shrink"},
+        "b": {"code": "a[i,j-1,k] + a[i,j+1,k]",
+              "boundary_condition": "shrink"},
+        "c": {"code": "a[i,j,k] + b[i,j,k]",
+              "boundary_condition": "shrink"},
+    },
+}
+
+
+def main():
+    program = StencilProgram.from_json(PROGRAM)
+    inputs = {"inp": np.random.default_rng(1).random(
+        SHAPE, dtype=np.float32)}
+    edges = [(e.src, e.dst, e.data) for e in StencilGraph(program).edges]
+
+    # 1. Minimal channels: the circular wait of Fig. 4.
+    print("running with minimal (2-word) channels everywhere...")
+    starved = SimulatorConfig(channel_capacities={k: 2 for k in edges},
+                              deadlock_window=64)
+    try:
+        simulate(program, inputs, starved)
+        print("  unexpectedly completed!")
+    except DeadlockError as error:
+        print(f"  DEADLOCK at cycle {error.cycle}:")
+        for unit in error.blocked_units:
+            print(f"    blocked: {unit}")
+
+    # 2. The static analysis knows these capacities are unsafe.
+    analysis = analyze_buffers(program)
+    certificate = certify(analysis, {k: 2 for k in edges})
+    print(f"\nstatic check agrees:\n  {certificate.explain()}")
+
+    # 3. Delay buffers computed by the analysis (Sec. IV-B).
+    print("\ncomputed delay buffers:")
+    for key, size in required_capacities(analysis).items():
+        if size:
+            src, dst, data = key
+            print(f"  {src} -> {dst}: {size} words of {data}")
+
+    # 4. With the buffers: streams continuously, matches Eq. 1.
+    result = simulate(program, inputs)
+    print(f"\nwith computed buffers: completed in {result.cycles} cycles "
+          f"(model {result.expected_cycles})")
+    print(f"continuous streaming: "
+          f"{all(result.output_continuous.values())}")
+
+
+if __name__ == "__main__":
+    main()

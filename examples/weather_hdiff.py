@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Application study: COSMO horizontal diffusion (Sec. IX).
+
+Builds the production weather-model stencil program, verifies its
+operation census against the paper, applies aggressive stencil fusion,
+runs the roofline analysis and the full Tab. II platform comparison,
+and simulates the design on a reduced domain to validate functional
+correctness against the sequential reference.
+
+Run:  python examples/weather_hdiff.py
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_buffers
+from repro.perf import (
+    arithmetic_intensity_ops_per_byte,
+    hdiff_comparison_table,
+    operands_per_cycle,
+    program_census,
+    roofline_gops,
+)
+from repro.programs import PAPER_CENSUS, horizontal_diffusion
+from repro.run import Session
+from repro.transforms import aggressive_fusion
+
+
+def main():
+    program = horizontal_diffusion()   # 128 x 128 x 80 benchmark domain
+    census = program_census(program)
+
+    print("horizontal diffusion: operation census (per cell)")
+    for key, paper in PAPER_CENSUS.items():
+        ours = getattr(census, key)
+        print(f"  {key:26s} paper {paper:3d}   ours {ours:3d}")
+
+    ai = arithmetic_intensity_ops_per_byte(program)
+    print(f"\narithmetic intensity: {ai:.4f} Op/B "
+          f"(paper: 65/18 = {65 / 18:.4f})")
+    print(f"operands per cycle at W=1: {operands_per_cycle(program):.2f} "
+          f"(paper: ~9)")
+    print(f"roofline at 58.3 GB/s: {roofline_gops(ai, 58.3):.1f} GOp/s "
+          f"(paper: 210.5)")
+
+    # Aggressive stencil fusion (Sec. V-B) coarsens the DAG.
+    fused = aggressive_fusion(program)
+    la = analyze_buffers(program).pipeline_latency
+    print(f"\nfusion: {len(program.stencils)} -> {len(fused.stencils)} "
+          f"stencils (L = {la} cycles before fusion)")
+
+    # Tab. II: the cross-platform comparison.
+    print("\nTab. II reproduction (128 x 128 x 80, FP32):")
+    print(f"  {'platform':42s} {'runtime':>10s} {'perf':>12s} "
+          f"{'%roof':>6s}")
+    for row in hdiff_comparison_table(program.with_vectorization(8)):
+        roof = f"{row.roof_fraction:.0%}" if row.roof_fraction else "-"
+        print(f"  {row.platform:42s} {row.runtime_us:8.0f}us "
+              f"{row.gops:8.1f}GOp/s {roof:>6s}")
+
+    # Functional validation on a reduced domain (the cycle-level
+    # simulator executes every stencil per cell; 128x128x80 would work
+    # but takes minutes in pure Python).
+    small = horizontal_diffusion(shape=(24, 24, 8))
+    session = Session(small)
+    rng = np.random.default_rng(0)
+    inputs = {}
+    for name, spec in small.inputs.items():
+        shape = spec.shape(small.shape, small.index_names)
+        inputs[name] = rng.random(shape, dtype=np.float32) * 0.1 + 1.0
+    result = session.run(inputs)
+    print(f"\nsimulated 24x24x8 domain: {result.simulation.cycles} "
+          f"cycles, validated = {result.validated}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""StencilFlow reproduction.
+
+A from-scratch Python implementation of *StencilFlow: Mapping Large
+Stencil Programs to Distributed Spatial Computing Systems* (CGO 2021):
+the stencil-program DSL, buffering/deadlock analysis, data-centric IR and
+transformations, code generation, and a cycle-level spatial-dataflow
+simulator standing in for the paper's FPGA testbed.
+
+Quickstart::
+
+    from repro import StencilProgram
+    from repro.run import Session
+
+    program = StencilProgram.from_json_file("program.json")
+    session = Session(program)
+    result = session.run(inputs={...})
+"""
+
+from .core import StencilProgram
+from .errors import (
+    AnalysisError,
+    DeadlockError,
+    DefinitionError,
+    GraphError,
+    MappingError,
+    ParseError,
+    StencilFlowError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "DeadlockError",
+    "DefinitionError",
+    "GraphError",
+    "MappingError",
+    "ParseError",
+    "StencilFlowError",
+    "StencilProgram",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Static deadlock-freedom certification (Sec. III-A, Fig. 4).
+
+A stencil dataflow graph deadlocks when a circular wait forms between
+channel *full* conditions (producers blocked) and *empty* conditions
+(consumers starved). Multi-trees cannot deadlock; any DAG with reconvergent
+paths can, if channel capacities cannot absorb the delay imbalance
+between the paths.
+
+This module provides a conservative static check that the channel
+capacities assigned to a design are sufficient: for every node, every
+incoming edge must provide capacity of at least the difference between
+the node's latest-arriving input and the data arriving over that edge.
+The cycle-level simulator (:mod:`repro.simulator`) provides the dynamic
+counterpart used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import AnalysisError
+from .delay_buffers import BufferingAnalysis
+
+#: Key identifying a channel: (src node id, dst node id, data name).
+ChannelKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class CapacityViolation:
+    """One under-provisioned channel found by the static check."""
+
+    channel: ChannelKey
+    required: int
+    provided: int
+
+    def __str__(self) -> str:
+        src, dst, data = self.channel
+        return (f"{src} --{data}--> {dst}: capacity {self.provided} "
+                f"< required {self.required}")
+
+
+@dataclass(frozen=True)
+class DeadlockCertificate:
+    """Result of the static deadlock-freedom check.
+
+    ``safe`` is True when every channel's capacity covers the worst-case
+    delay imbalance computed by the buffering analysis. A False result
+    does not *prove* a deadlock (the check is conservative), but every
+    violation corresponds to a schedule in which some producer blocks.
+    """
+
+    safe: bool
+    violations: Tuple[CapacityViolation, ...]
+    is_multitree: bool
+
+    def explain(self) -> str:
+        if self.safe:
+            reason = ("graph is a multi-tree; no reconvergent paths exist"
+                      if self.is_multitree else
+                      "all channel capacities cover their path-delay "
+                      "imbalance")
+            return f"deadlock-free: {reason}"
+        lines = ["potential deadlock: under-provisioned channels:"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def required_capacities(analysis: BufferingAnalysis) -> Dict[ChannelKey, int]:
+    """Minimum safe capacity per channel, in vector words.
+
+    This is exactly the delay-buffer size of each edge: the number of
+    credits that must be injectable so the producer can run ahead while
+    the consumer waits for its latest input.
+    """
+    return {key: buf.size for key, buf in analysis.delay_buffers.items()}
+
+
+def certify(analysis: BufferingAnalysis,
+            capacities: Mapping[ChannelKey, int]) -> DeadlockCertificate:
+    """Check assigned channel ``capacities`` against the analysis.
+
+    Args:
+        analysis: buffering analysis of the program.
+        capacities: channel capacity (vector words) per edge. Edges
+            missing from the mapping are treated as capacity zero.
+    """
+    multitree = analysis.graph.is_multitree()
+    violations: List[CapacityViolation] = []
+    if not multitree:
+        for key, required in required_capacities(analysis).items():
+            provided = capacities.get(key, 0)
+            if provided < required:
+                violations.append(CapacityViolation(
+                    channel=key, required=required, provided=provided))
+    violations.sort(key=lambda v: v.channel)
+    return DeadlockCertificate(
+        safe=not violations,
+        violations=tuple(violations),
+        is_multitree=multitree,
+    )
+
+
+def certify_analysis(analysis: BufferingAnalysis) -> DeadlockCertificate:
+    """Certify the capacities the analysis itself assigned.
+
+    By construction this always succeeds; it is exposed as an internal
+    consistency check (and exercised as a property test).
+    """
+    certificate = certify(analysis, required_capacities(analysis))
+    if not certificate.safe:
+        raise AnalysisError(
+            "internal error: analysis-assigned capacities failed "
+            f"certification:\n{certificate.explain()}")
+    return certificate

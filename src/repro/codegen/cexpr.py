@@ -1,0 +1,69 @@
+"""Expression AST to OpenCL C rendering."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import CodeGenError
+from ..expr.ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+
+#: Math-function spelling in OpenCL C.
+_OPENCL_FUNCS = {
+    "sqrt": "sqrt", "cbrt": "cbrt", "exp": "exp", "log": "log",
+    "log2": "log2", "log10": "log10", "sin": "sin", "cos": "cos",
+    "tan": "tan", "asin": "asin", "acos": "acos", "atan": "atan",
+    "sinh": "sinh", "cosh": "cosh", "tanh": "tanh", "fabs": "fabs",
+    "abs": "fabs", "floor": "floor", "ceil": "ceil", "round": "round",
+    "min": "fmin", "max": "fmax", "fmin": "fmin", "fmax": "fmax",
+    "pow": "pow", "atan2": "atan2", "fmod": "fmod",
+}
+
+AccessRenderer = Callable[[FieldAccess], str]
+IndexRenderer = Callable[[str], str]
+
+
+def render(node: Expr, access: AccessRenderer,
+           index: IndexRenderer = lambda name: name) -> str:
+    """Render an expression as OpenCL C.
+
+    Args:
+        node: the AST.
+        access: maps each field access to its C spelling (a tap
+            variable, buffer index, or channel read temporary).
+        index: maps an index variable to its C spelling.
+    """
+    if isinstance(node, Literal):
+        if isinstance(node.value, int):
+            return str(node.value)
+        text = repr(float(node.value))
+        return f"{text}f"
+    if isinstance(node, IndexVar):
+        return index(node.name)
+    if isinstance(node, FieldAccess):
+        return access(node)
+    if isinstance(node, BinaryOp):
+        left = render(node.left, access, index)
+        right = render(node.right, access, index)
+        return f"({left} {node.op} {right})"
+    if isinstance(node, UnaryOp):
+        return f"({node.op}{render(node.operand, access, index)})"
+    if isinstance(node, Ternary):
+        return (f"({render(node.cond, access, index)} ? "
+                f"{render(node.then, access, index)} : "
+                f"{render(node.orelse, access, index)})")
+    if isinstance(node, Call):
+        func = _OPENCL_FUNCS.get(node.func)
+        if func is None:
+            raise CodeGenError(f"no OpenCL spelling for {node.func!r}")
+        args = ", ".join(render(a, access, index) for a in node.args)
+        return f"{func}({args})"
+    raise CodeGenError(f"cannot render {type(node).__name__}")

@@ -1,0 +1,133 @@
+"""Scalar data types supported by stencil programs.
+
+The paper's stack supports "any data type recognized by the underlying
+compiler" (Sec. VIII-B); we model the common numeric set and carry the
+information needed by the analysis: byte width and NumPy equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DefinitionError
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar element type.
+
+    Attributes:
+        name: canonical name, e.g. ``"float32"``.
+        bytes: storage size of one element in bytes.
+        kind: one of ``"float"``, ``"int"``, ``"uint"``, ``"bool"``.
+    """
+
+    name: str
+    bytes: int
+    kind: str
+
+    @property
+    def bits(self) -> int:
+        return 8 * self.bytes
+
+    @property
+    def numpy(self) -> np.dtype:
+        return np.dtype(self.name)
+
+    @property
+    def ctype(self) -> str:
+        """OpenCL C type name used by the code generator."""
+        return _CTYPES[self.name]
+
+    def vector_ctype(self, width: int) -> str:
+        """OpenCL vector type of this element, e.g. ``float8``."""
+        if width == 1:
+            return self.ctype
+        if width not in (2, 4, 8, 16):
+            raise DefinitionError(
+                f"OpenCL vector width must be 2/4/8/16, got {width}")
+        return f"{self.ctype}{width}"
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("int", "uint")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_CTYPES = {
+    "float16": "half",
+    "float32": "float",
+    "float64": "double",
+    "int8": "char",
+    "int16": "short",
+    "int32": "int",
+    "int64": "long",
+    "uint8": "uchar",
+    "uint16": "ushort",
+    "uint32": "uint",
+    "uint64": "ulong",
+    "bool": "bool",
+}
+
+float16 = DType("float16", 2, "float")
+float32 = DType("float32", 4, "float")
+float64 = DType("float64", 8, "float")
+int8 = DType("int8", 1, "int")
+int16 = DType("int16", 2, "int")
+int32 = DType("int32", 4, "int")
+int64 = DType("int64", 8, "int")
+uint8 = DType("uint8", 1, "uint")
+uint16 = DType("uint16", 2, "uint")
+uint32 = DType("uint32", 4, "uint")
+uint64 = DType("uint64", 8, "uint")
+boolean = DType("bool", 1, "bool")
+
+_REGISTRY = {
+    t.name: t
+    for t in (float16, float32, float64, int8, int16, int32, int64,
+              uint8, uint16, uint32, uint64, boolean)
+}
+_ALIASES = {
+    "float": "float32",
+    "double": "float64",
+    "half": "float16",
+    "int": "int32",
+    "long": "int64",
+    "uint": "uint32",
+    "ulong": "uint64",
+}
+
+
+def dtype(name) -> DType:
+    """Look up a :class:`DType` by name (accepting common aliases).
+
+    >>> dtype("float32").bytes
+    4
+    >>> dtype("double").name
+    'float64'
+    """
+    if isinstance(name, DType):
+        return name
+    key = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise DefinitionError(f"unknown data type: {name!r}") from None
+
+
+def result_type(a: DType, b: DType) -> DType:
+    """Numeric promotion of two scalar types (NumPy rules)."""
+    return dtype(np.result_type(a.numpy, b.numpy).name)
+
+
+def all_dtypes() -> tuple:
+    """All registered scalar types."""
+    return tuple(_REGISTRY.values())

@@ -1,0 +1,19 @@
+"""Multi-device mapping: partitioning, replication, network feasibility."""
+
+from .partition import (
+    EdgeKey,
+    Partition,
+    check_network_feasible,
+    edge_latency_map,
+    partition_fixed,
+    partition_program,
+)
+
+__all__ = [
+    "EdgeKey",
+    "Partition",
+    "check_network_feasible",
+    "edge_latency_map",
+    "partition_fixed",
+    "partition_program",
+]

@@ -1,0 +1,60 @@
+"""Stencil expression language: lexer, parser, AST, and analyses."""
+
+from .ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+    unparse,
+)
+from .analysis import (
+    OpCensus,
+    accessed_fields,
+    census,
+    count_nodes,
+    depth,
+    field_access_dims,
+    field_accesses,
+    index_vars,
+)
+from .cse import census_after_cse, cse_savings, shared_subexpressions
+from .evaluator import evaluate, evaluate_scalar
+from .folding import fold
+from .latency import DEFAULT_LATENCIES, LatencyModel, critical_path
+from .parser import parse
+from .typecheck import infer_type
+
+__all__ = [
+    "BinaryOp",
+    "Call",
+    "DEFAULT_LATENCIES",
+    "Expr",
+    "FieldAccess",
+    "IndexVar",
+    "LatencyModel",
+    "Literal",
+    "OpCensus",
+    "Ternary",
+    "UnaryOp",
+    "accessed_fields",
+    "census",
+    "census_after_cse",
+    "count_nodes",
+    "critical_path",
+    "cse_savings",
+    "depth",
+    "evaluate",
+    "evaluate_scalar",
+    "field_access_dims",
+    "field_accesses",
+    "fold",
+    "index_vars",
+    "infer_type",
+    "parse",
+    "shared_subexpressions",
+    "unparse",
+]

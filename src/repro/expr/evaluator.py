@@ -1,0 +1,136 @@
+"""NumPy evaluation of stencil expressions.
+
+This powers the reference executor (Sec. VI-C): a stencil's code is
+evaluated over the whole iteration domain at once, with field accesses
+resolved to pre-shifted arrays by a caller-supplied resolver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Union
+
+import numpy as np
+
+from ..errors import StencilFlowError
+from .ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+
+ArrayLike = Union[np.ndarray, float, int]
+AccessResolver = Callable[[FieldAccess], ArrayLike]
+
+_CALL_IMPLS = {
+    "sqrt": np.sqrt, "cbrt": np.cbrt, "exp": np.exp, "log": np.log,
+    "log2": np.log2, "log10": np.log10, "sin": np.sin, "cos": np.cos,
+    "tan": np.tan, "asin": np.arcsin, "acos": np.arccos,
+    "atan": np.arctan, "sinh": np.sinh, "cosh": np.cosh, "tanh": np.tanh,
+    "fabs": np.abs, "abs": np.abs, "floor": np.floor, "ceil": np.ceil,
+    "round": np.round, "min": np.minimum, "max": np.maximum,
+    "fmin": np.fmin, "fmax": np.fmax, "pow": np.power,
+    "atan2": np.arctan2, "fmod": np.fmod,
+}
+
+
+def evaluate(node: Expr,
+             resolve_access: AccessResolver,
+             index_grids: Mapping[str, ArrayLike] = None) -> ArrayLike:
+    """Evaluate an expression over arrays.
+
+    Args:
+        node: the expression AST.
+        resolve_access: called for every :class:`FieldAccess`; must return
+            an array shaped like the iteration domain (or a scalar).
+        index_grids: arrays giving the value of each iteration index at
+            every point, for expressions that use indices as values.
+
+    Returns:
+        The result array (or scalar, if all operands were scalars).
+    """
+    grids = index_grids or {}
+    return _eval(node, resolve_access, grids)
+
+
+def _eval(node: Expr, resolve: AccessResolver,
+          grids: Mapping[str, ArrayLike]) -> ArrayLike:
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, IndexVar):
+        try:
+            return grids[node.name]
+        except KeyError:
+            raise StencilFlowError(
+                f"no index grid provided for {node.name!r}") from None
+    if isinstance(node, FieldAccess):
+        return resolve(node)
+    if isinstance(node, BinaryOp):
+        left = _eval(node.left, resolve, grids)
+        right = _eval(node.right, resolve, grids)
+        return _apply_binary(node.op, left, right)
+    if isinstance(node, UnaryOp):
+        operand = _eval(node.operand, resolve, grids)
+        if node.op == "-":
+            return -operand
+        if node.op == "!":
+            return np.logical_not(operand)
+        raise StencilFlowError(f"unknown unary operator {node.op!r}")
+    if isinstance(node, Ternary):
+        cond = _eval(node.cond, resolve, grids)
+        then = _eval(node.then, resolve, grids)
+        orelse = _eval(node.orelse, resolve, grids)
+        return np.where(cond, then, orelse)
+    if isinstance(node, Call):
+        args = [_eval(a, resolve, grids) for a in node.args]
+        return _CALL_IMPLS[node.func](*args)
+    raise TypeError(f"unknown AST node {type(node).__name__}")
+
+
+def _apply_binary(op: str, left: ArrayLike, right: ArrayLike) -> ArrayLike:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "&&":
+        return np.logical_and(left, right)
+    if op == "||":
+        return np.logical_or(left, right)
+    raise StencilFlowError(f"unknown binary operator {op!r}")
+
+
+def evaluate_scalar(node: Expr,
+                    bindings: Mapping[str, float] = None) -> float:
+    """Evaluate a closed expression (no field reads) to a Python scalar.
+
+    ``bindings`` may provide values for index variables.
+
+    >>> from .parser import parse
+    >>> evaluate_scalar(parse("2 * 3 + 1"))
+    7
+    """
+    def no_fields(access: FieldAccess):
+        raise StencilFlowError(
+            f"expression is not closed: reads field {access.field!r}")
+
+    return evaluate(node, no_fields, bindings or {})

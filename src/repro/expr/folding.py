@@ -1,0 +1,149 @@
+"""Constant folding and algebraic simplification of expression ASTs.
+
+Used by the canonicalization pass before code generation; the optimizing
+HLS compiler would do this anyway, but folding early makes the op census
+and latency analysis reflect the hardware actually built.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+
+_FOLDABLE_CALLS = {
+    "sqrt": math.sqrt, "cbrt": lambda x: math.copysign(abs(x) ** (1 / 3), x),
+    "exp": math.exp, "log": math.log, "log2": math.log2,
+    "log10": math.log10, "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+    "sinh": math.sinh, "cosh": math.cosh, "tanh": math.tanh,
+    "fabs": abs, "abs": abs, "floor": math.floor, "ceil": math.ceil,
+    "round": round, "min": min, "max": max, "fmin": min, "fmax": max,
+    "pow": pow, "atan2": math.atan2, "fmod": math.fmod,
+}
+
+
+def fold(node: Expr) -> Expr:
+    """Return an equivalent expression with constants folded.
+
+    Applies recursively, bottom-up. Also performs safe algebraic
+    identities: ``x+0``, ``x*1``, ``x*0``, ``x-0``, ``x/1``, double
+    negation, and constant-condition ternaries.
+
+    >>> from .parser import parse
+    >>> str(fold(parse("a[i] * (2 - 1) + 0")))
+    'a[i]'
+    """
+    if isinstance(node, (Literal, IndexVar, FieldAccess)):
+        return node
+    if isinstance(node, BinaryOp):
+        return _fold_binary(node.op, fold(node.left), fold(node.right))
+    if isinstance(node, UnaryOp):
+        return _fold_unary(node.op, fold(node.operand))
+    if isinstance(node, Ternary):
+        cond = fold(node.cond)
+        then = fold(node.then)
+        orelse = fold(node.orelse)
+        if isinstance(cond, Literal):
+            return then if cond.value else orelse
+        return Ternary(cond, then, orelse)
+    if isinstance(node, Call):
+        args = tuple(fold(a) for a in node.args)
+        if (node.func in _FOLDABLE_CALLS
+                and all(isinstance(a, Literal) for a in args)):
+            try:
+                value = _FOLDABLE_CALLS[node.func](*(a.value for a in args))
+            except (ValueError, OverflowError, ZeroDivisionError):
+                return Call(node.func, args)
+            return Literal(value)
+        return Call(node.func, args)
+    raise TypeError(f"unknown AST node {type(node).__name__}")
+
+
+def _fold_binary(op: str, left: Expr, right: Expr) -> Expr:
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        value = _eval_binary(op, left.value, right.value)
+        if value is not None:
+            return Literal(value)
+    if op == "+":
+        if _is_const(left, 0):
+            return right
+        if _is_const(right, 0):
+            return left
+    elif op == "-":
+        if _is_const(right, 0):
+            return left
+        if left == right and isinstance(left, FieldAccess):
+            return Literal(0)
+    elif op == "*":
+        if _is_const(left, 1):
+            return right
+        if _is_const(right, 1):
+            return left
+        if _is_const(left, 0) or _is_const(right, 0):
+            return Literal(0)
+    elif op == "/":
+        if _is_const(right, 1):
+            return left
+    return BinaryOp(op, left, right)
+
+
+def _eval_binary(op: str, a, b):
+    try:
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                return None
+            result = a / b
+            # Keep exact integer divisions integral.
+            if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+                return a // b
+            return result
+        if op == "<":
+            return int(a < b)
+        if op == ">":
+            return int(a > b)
+        if op == "<=":
+            return int(a <= b)
+        if op == ">=":
+            return int(a >= b)
+        if op == "==":
+            return int(a == b)
+        if op == "!=":
+            return int(a != b)
+        if op == "&&":
+            return int(bool(a) and bool(b))
+        if op == "||":
+            return int(bool(a) or bool(b))
+    except OverflowError:
+        return None
+    return None
+
+
+def _fold_unary(op: str, operand: Expr) -> Expr:
+    if isinstance(operand, Literal):
+        if op == "-":
+            return Literal(-operand.value)
+        if op == "!":
+            return Literal(int(not operand.value))
+    if op == "-" and isinstance(operand, UnaryOp) and operand.op == "-":
+        return operand.operand
+    return UnaryOp(op, operand)
+
+
+def _is_const(node: Expr, value) -> bool:
+    return isinstance(node, Literal) and node.value == value

@@ -1,0 +1,97 @@
+"""Critical-path latency analysis of stencil expressions (Sec. IV-B).
+
+The AST formed by a stencil's computation is itself a DAG whose critical
+path adds a delay between inputs entering and the result exiting the
+pipeline. Computing the path requires per-operation latencies, which are
+type- and architecture-dependent; they can be provided as configuration
+and default to conservative values (the paper notes these delays are
+typically below 100 cycles and contribute little to fast-memory usage
+even when overestimated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+
+#: Conservative default operation latencies, in cycles. Roughly modeled on
+#: Intel FPGA floating-point IP at ~300 MHz; deliberately pessimistic.
+DEFAULT_LATENCIES: Dict[str, int] = {
+    "+": 4, "-": 4, "*": 4, "/": 16,
+    "<": 2, ">": 2, "<=": 2, ">=": 2, "==": 2, "!=": 2,
+    "&&": 1, "||": 1, "!": 1,
+    "neg": 4,
+    "select": 2,
+    "sqrt": 16, "cbrt": 24, "exp": 16, "log": 16, "log2": 16, "log10": 16,
+    "sin": 24, "cos": 24, "tan": 32, "asin": 32, "acos": 32, "atan": 32,
+    "atan2": 40, "sinh": 32, "cosh": 32, "tanh": 32,
+    "fabs": 1, "abs": 1, "floor": 2, "ceil": 2, "round": 2,
+    "min": 2, "max": 2, "fmin": 2, "fmax": 2, "pow": 32, "fmod": 24,
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-operation latency configuration.
+
+    Attributes:
+        latencies: cycles per operation; keys are operator symbols,
+            function names, ``"neg"``, and ``"select"`` (ternary mux).
+        default: fallback latency for unlisted operations.
+    """
+
+    latencies: Dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES))
+    default: int = 8
+
+    def of(self, op: str) -> int:
+        return self.latencies.get(op, self.default)
+
+    def with_overrides(self, **overrides: int) -> "LatencyModel":
+        merged = dict(self.latencies)
+        merged.update(overrides)
+        return replace(self, latencies=merged)
+
+
+def critical_path(node: Expr,
+                  model: LatencyModel = LatencyModel()) -> int:
+    """Length in cycles of the longest input-to-output path of the AST.
+
+    Leaves (literals, index variables, field reads) contribute zero:
+    operands are assumed available at the pipeline input register.
+
+    >>> from .parser import parse
+    >>> m = LatencyModel({"+": 4, "*": 4}, default=0)
+    >>> critical_path(parse("a[i] + b[i] * c[i]"), m)
+    8
+    """
+    if isinstance(node, (Literal, IndexVar, FieldAccess)):
+        return 0
+    if isinstance(node, BinaryOp):
+        inner = max(critical_path(node.left, model),
+                    critical_path(node.right, model))
+        return inner + model.of(node.op)
+    if isinstance(node, UnaryOp):
+        op = "neg" if node.op == "-" else node.op
+        return critical_path(node.operand, model) + model.of(op)
+    if isinstance(node, Ternary):
+        # Both branches are evaluated in hardware; the mux selects.
+        inner = max(critical_path(node.cond, model),
+                    critical_path(node.then, model),
+                    critical_path(node.orelse, model))
+        return inner + model.of("select")
+    if isinstance(node, Call):
+        inner = max((critical_path(a, model) for a in node.args), default=0)
+        return inner + model.of(node.func)
+    raise TypeError(f"unknown AST node {type(node).__name__}")

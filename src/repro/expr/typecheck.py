@@ -1,0 +1,125 @@
+"""Type inference for stencil expressions.
+
+Given the declared dtype of each field, infers the result dtype of an
+expression via NumPy promotion rules, and rejects ill-typed constructs
+(e.g. arithmetic on booleans produced by comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.dtypes import DType, boolean, dtype, float64, int32, result_type
+from ..errors import TypeCheckError
+from .ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+
+#: Functions that always return floating point.
+_FLOAT_FUNCS = {
+    "sqrt", "cbrt", "exp", "log", "log2", "log10", "sin", "cos", "tan",
+    "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "pow", "fmod",
+}
+
+
+def promote(a: DType, b: DType) -> DType:
+    """C-style promotion: float absorbs int of any width.
+
+    Unlike NumPy's value-based rules (where int32 + float32 -> float64),
+    mixing an integer with a float yields the float type unchanged, which
+    matches the arithmetic the generated OpenCL performs.
+    """
+    if a == b:
+        return a
+    if a.is_float and not b.is_float:
+        return a
+    if b.is_float and not a.is_float:
+        return b
+    return result_type(a, b)
+
+
+def infer_type(node: Expr, field_types: Mapping[str, DType]) -> DType:
+    """Infer the result dtype of ``node``.
+
+    Args:
+        node: expression AST.
+        field_types: dtype of every field the expression may read.
+
+    Raises:
+        TypeCheckError: on reads of undeclared fields or boolean
+            arithmetic.
+
+    >>> from .parser import parse
+    >>> from ..core.dtypes import float32
+    >>> infer_type(parse("a[i] + 1"), {"a": float32}).name
+    'float32'
+    """
+    if isinstance(node, Literal):
+        # Literals are weakly typed: they adopt the width of the field
+        # data they combine with, so a float32 program is not silently
+        # promoted to float64 by the constant 0.5.
+        if isinstance(node.value, bool):
+            return boolean
+        if isinstance(node.value, int):
+            return int32
+        return dtype("float32")
+    if isinstance(node, IndexVar):
+        return int32
+    if isinstance(node, FieldAccess):
+        try:
+            return dtype(field_types[node.field])
+        except KeyError:
+            raise TypeCheckError(
+                f"read of undeclared field {node.field!r}") from None
+    if isinstance(node, BinaryOp):
+        left = infer_type(node.left, field_types)
+        right = infer_type(node.right, field_types)
+        if node.is_comparison or node.is_logical:
+            return boolean
+        if left.kind == "bool" or right.kind == "bool":
+            raise TypeCheckError(
+                f"arithmetic {node.op!r} applied to boolean operand "
+                f"in {node}")
+        if node.op == "/" and left.is_integer and right.is_integer:
+            # Division always produces floating point in stencil code.
+            return float64 if max(left.bytes, right.bytes) > 4 else \
+                dtype("float32")
+        return promote(left, right)
+    if isinstance(node, UnaryOp):
+        inner = infer_type(node.operand, field_types)
+        if node.op == "!":
+            return boolean
+        if inner.kind == "bool":
+            raise TypeCheckError(f"negation of boolean in {node}")
+        return inner
+    if isinstance(node, Ternary):
+        infer_type(node.cond, field_types)
+        then = infer_type(node.then, field_types)
+        orelse = infer_type(node.orelse, field_types)
+        if then.kind == "bool" and orelse.kind == "bool":
+            return boolean
+        if then.kind == "bool" or orelse.kind == "bool":
+            raise TypeCheckError(
+                f"ternary branches have incompatible types "
+                f"{then}/{orelse} in {node}")
+        return promote(then, orelse)
+    if isinstance(node, Call):
+        arg_types = [infer_type(a, field_types) for a in node.args]
+        for at in arg_types:
+            if at.kind == "bool":
+                raise TypeCheckError(
+                    f"boolean argument to {node.func} in {node}")
+        widest = arg_types[0]
+        for at in arg_types[1:]:
+            widest = promote(widest, at)
+        if node.func in _FLOAT_FUNCS and not widest.is_float:
+            return dtype("float32")
+        return widest
+    raise TypeError(f"unknown AST node {type(node).__name__}")

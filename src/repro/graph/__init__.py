@@ -1,0 +1,11 @@
+"""Stencil DAG construction and traversal."""
+
+from .dag import Edge, InputNode, OutputNode, StencilGraph, StencilNode
+
+__all__ = [
+    "Edge",
+    "InputNode",
+    "OutputNode",
+    "StencilGraph",
+    "StencilNode",
+]

@@ -1,0 +1,290 @@
+"""Explicit stencil DAG built from a :class:`StencilProgram` (Fig. 2).
+
+Nodes are data producers/consumers:
+
+* :class:`InputNode` — an off-chip memory container feeding the program.
+* :class:`StencilNode` — one stencil unit; produces the data named after it.
+* :class:`OutputNode` — an off-chip memory container written at a sink.
+
+Edges carry the name of the data flowing along them. A stencil result
+consumed by several stencils appears as multiple out-edges of the same
+producer (the data is streamed to all consumers, read from memory only
+once — Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.fields import FieldSpec
+from ..core.program import StencilDefinition, StencilProgram
+from ..errors import GraphError
+
+
+@dataclass(frozen=True)
+class InputNode:
+    """Off-chip input container."""
+
+    name: str
+    spec: FieldSpec
+
+    kind = "input"
+
+    def __str__(self) -> str:
+        return f"input:{self.name}"
+
+
+@dataclass(frozen=True)
+class StencilNode:
+    """One stencil unit in the dataflow graph."""
+
+    name: str
+    definition: StencilDefinition
+
+    kind = "stencil"
+
+    def __str__(self) -> str:
+        return f"stencil:{self.name}"
+
+
+@dataclass(frozen=True)
+class OutputNode:
+    """Off-chip output container (one per program output)."""
+
+    name: str
+
+    kind = "output"
+
+    def __str__(self) -> str:
+        return f"output:{self.name}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed dataflow edge carrying the stream ``data``.
+
+    ``src``/``dst`` are node identifiers (see :class:`StencilGraph`).
+    """
+
+    src: str
+    dst: str
+    data: str
+
+    def __str__(self) -> str:
+        return f"{self.src} --{self.data}--> {self.dst}"
+
+
+class StencilGraph:
+    """The stencil DAG with traversal and query helpers.
+
+    Node identifiers are ``"input:<name>"``, ``"stencil:<name>"``, and
+    ``"output:<name>"`` so that a program output that shares its name with
+    the producing stencil gets a distinct sink node.
+    """
+
+    def __init__(self, program: StencilProgram):
+        self.program = program
+        self._nodes: Dict[str, object] = {}
+        self._out_edges: Dict[str, List[Edge]] = {}
+        self._in_edges: Dict[str, List[Edge]] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _add_node(self, node) -> str:
+        node_id = str(node)
+        if node_id in self._nodes:
+            raise GraphError(f"duplicate node {node_id}")
+        self._nodes[node_id] = node
+        self._out_edges[node_id] = []
+        self._in_edges[node_id] = []
+        return node_id
+
+    def _add_edge(self, src: str, dst: str, data: str):
+        edge = Edge(src, dst, data)
+        self._out_edges[src].append(edge)
+        self._in_edges[dst].append(edge)
+
+    def _build(self):
+        program = self.program
+        for name, spec in program.inputs.items():
+            self._add_node(InputNode(name, spec))
+        for stencil in program.stencils:
+            self._add_node(StencilNode(stencil.name, stencil))
+        for out in program.outputs:
+            self._add_node(OutputNode(out))
+        stencil_names = set(program.stencil_names)
+        for stencil in program.stencils:
+            dst = f"stencil:{stencil.name}"
+            for dep in stencil.accessed_fields:
+                if dep in program.inputs:
+                    self._add_edge(f"input:{dep}", dst, dep)
+                elif dep in stencil_names:
+                    self._add_edge(f"stencil:{dep}", dst, dep)
+                else:
+                    raise GraphError(
+                        f"stencil {stencil.name!r} reads unknown {dep!r}")
+        for out in program.outputs:
+            self._add_edge(f"stencil:{out}", f"output:{out}", out)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def node_ids(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def node(self, node_id: str):
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"no node {node_id!r}") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(e for edges in self._out_edges.values() for e in edges)
+
+    def out_edges(self, node_id: str) -> Tuple[Edge, ...]:
+        return tuple(self._out_edges[node_id])
+
+    def in_edges(self, node_id: str) -> Tuple[Edge, ...]:
+        return tuple(self._in_edges[node_id])
+
+    def successors(self, node_id: str) -> Tuple[str, ...]:
+        return tuple(e.dst for e in self._out_edges[node_id])
+
+    def predecessors(self, node_id: str) -> Tuple[str, ...]:
+        return tuple(e.src for e in self._in_edges[node_id])
+
+    def input_ids(self) -> Tuple[str, ...]:
+        return tuple(i for i, n in self._nodes.items() if n.kind == "input")
+
+    def stencil_ids(self) -> Tuple[str, ...]:
+        return tuple(i for i, n in self._nodes.items() if n.kind == "stencil")
+
+    def output_ids(self) -> Tuple[str, ...]:
+        return tuple(i for i, n in self._nodes.items() if n.kind == "output")
+
+    def sources(self) -> Tuple[str, ...]:
+        """Nodes without predecessors (inputs, plus constant stencils)."""
+        return tuple(i for i in self._nodes if not self._in_edges[i])
+
+    def sinks(self) -> Tuple[str, ...]:
+        return tuple(i for i in self._nodes if not self._out_edges[i])
+
+    # -- traversal -----------------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; deterministic (insertion order tie-break)."""
+        indegree = {i: len(self._in_edges[i]) for i in self._nodes}
+        ready = [i for i in self._nodes if indegree[i] == 0]
+        order: List[str] = []
+        while ready:
+            node_id = ready.pop(0)
+            order.append(node_id)
+            for edge in self._out_edges[node_id]:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self._nodes):
+            stuck = sorted(i for i, d in indegree.items() if d > 0)
+            raise GraphError(f"graph has a cycle involving {stuck}")
+        return order
+
+    def stencil_topological_order(self) -> List[str]:
+        """Stencil names only, in topological order."""
+        return [self._nodes[i].name for i in self.topological_order()
+                if self._nodes[i].kind == "stencil"]
+
+    def reverse_reachable(self, node_id: str) -> Set[str]:
+        """All nodes from which ``node_id`` is reachable (inclusive)."""
+        seen = {node_id}
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            for edge in self._in_edges[current]:
+                if edge.src not in seen:
+                    seen.add(edge.src)
+                    stack.append(edge.src)
+        return seen
+
+    def all_paths(self, src: str, dst: str) -> Iterator[List[str]]:
+        """Enumerate all simple paths from ``src`` to ``dst``.
+
+        Exponential in the worst case; used only on small graphs and in
+        tests — the buffering analysis itself uses dynamic programming.
+        """
+        path = [src]
+
+        def extend(current: str):
+            if current == dst:
+                yield list(path)
+                return
+            for edge in self._out_edges[current]:
+                path.append(edge.dst)
+                yield from extend(edge.dst)
+                path.pop()
+
+        yield from extend(src)
+
+    def longest_path_length(self) -> int:
+        """Number of stencil nodes on the deepest path (the DAG depth)."""
+        depth: Dict[str, int] = {}
+        for node_id in self.topological_order():
+            is_stencil = self._nodes[node_id].kind == "stencil"
+            incoming = [depth[e.src] for e in self._in_edges[node_id]]
+            depth[node_id] = (1 if is_stencil else 0) + max(incoming,
+                                                            default=0)
+        return max(depth.values(), default=0)
+
+    def is_multitree(self) -> bool:
+        """True if no two nodes are connected by more than one path.
+
+        Multi-trees cannot deadlock regardless of channel sizes
+        (Sec. III-A); anything else requires delay-buffer analysis.
+        """
+        for src in self._nodes:
+            reached: Set[str] = set()
+            for edge in self._out_edges[src]:
+                frontier = {edge.dst}
+                seen_via_this_edge = set()
+                while frontier:
+                    current = frontier.pop()
+                    if current in seen_via_this_edge:
+                        continue
+                    seen_via_this_edge.add(current)
+                    frontier.update(e.dst for e in self._out_edges[current])
+                if reached & seen_via_this_edge:
+                    return False
+                reached |= seen_via_this_edge
+        return True
+
+    # -- export --------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz dot rendering, for debugging and documentation."""
+        lines = ["digraph stencil_program {", "  rankdir=TB;"]
+        shapes = {"input": "ellipse", "stencil": "box", "output": "ellipse"}
+        styles = {"input": "filled", "stencil": "rounded",
+                  "output": "filled,dashed"}
+        for node_id, node in self._nodes.items():
+            lines.append(
+                f'  "{node_id}" [label="{node.name}", '
+                f'shape={shapes[node.kind]}, style="{styles[node.kind]}"];')
+        for edge in self.edges:
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" '
+                         f'[label="{edge.data}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"StencilGraph({len(self.input_ids())} inputs, "
+                f"{len(self.stencil_ids())} stencils, "
+                f"{len(self.output_ids())} outputs, "
+                f"{len(self.edges)} edges)")

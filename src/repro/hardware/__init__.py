@@ -1,0 +1,40 @@
+"""Hardware platform specs and calibrated analytical models."""
+
+from . import calibration
+from .bandwidth import BandwidthModel
+from .frequency import design_frequency_mhz, frequency_mhz
+from .platform import (
+    ARRIA10,
+    FPGAPlatform,
+    LoadStorePlatform,
+    P100,
+    ResourceVector,
+    STRATIX10,
+    V100,
+    XEON_12C,
+)
+from .resources import (
+    ResourceEstimate,
+    check_fits,
+    estimate_resources,
+    stencil_unit_resources,
+)
+
+__all__ = [
+    "ARRIA10",
+    "BandwidthModel",
+    "FPGAPlatform",
+    "LoadStorePlatform",
+    "P100",
+    "ResourceEstimate",
+    "ResourceVector",
+    "STRATIX10",
+    "V100",
+    "XEON_12C",
+    "calibration",
+    "check_fits",
+    "design_frequency_mhz",
+    "estimate_resources",
+    "frequency_mhz",
+    "stencil_unit_resources",
+]

@@ -1,0 +1,104 @@
+"""Effective off-chip bandwidth model (Fig. 16).
+
+The Stratix 10's memory-controller crossbar cannot serve an arbitrary
+number of parallel access points at full rate. The paper measures:
+
+* scalar (32-bit) access points: full efficiency up to 24 points, then a
+  soft knee flattening at 36.4 GB/s (47% of the 76.8 GB/s peak);
+* 4-way vectorized points: a later knee flattening at 58.3 GB/s (76%),
+  with 8-way behaving the same.
+
+We model this with a smooth-min curve: the served bandwidth approaches
+``min(requested, saturation)`` with a knee of configurable sharpness,
+fit against the six measured scalar efficiencies of Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import calibration as cal
+from .platform import FPGAPlatform, STRATIX10
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Crossbar model of one FPGA board's memory system.
+
+    Attributes:
+        peak_gbs: datasheet aggregate bandwidth.
+        scalar_saturation_gbs: plateau for W=1 access points.
+        vector_saturation_gbs: plateau for W>=4 access points.
+        knee: sharpness of the soft saturation knee.
+    """
+
+    peak_gbs: float = cal.S10_PEAK_BANDWIDTH_GBS
+    scalar_saturation_gbs: float = cal.CROSSBAR_SCALAR_SATURATION_GBS
+    vector_saturation_gbs: float = cal.CROSSBAR_VECTOR_SATURATION_GBS
+    knee: float = cal.CROSSBAR_KNEE_SHARPNESS
+
+    @classmethod
+    def for_platform(cls, platform: FPGAPlatform) -> "BandwidthModel":
+        scale = platform.peak_bandwidth_gbs / STRATIX10.peak_bandwidth_gbs
+        return cls(
+            peak_gbs=platform.peak_bandwidth_gbs,
+            scalar_saturation_gbs=cal.CROSSBAR_SCALAR_SATURATION_GBS * scale,
+            vector_saturation_gbs=cal.CROSSBAR_VECTOR_SATURATION_GBS * scale,
+        )
+
+    def saturation_gbs(self, vector_width: int) -> float:
+        """Plateau bandwidth for a given access vector width."""
+        if vector_width >= 4:
+            return self.vector_saturation_gbs
+        if vector_width <= 1:
+            return self.scalar_saturation_gbs
+        # W=2 interpolates between the measured plateaus.
+        blend = (vector_width - 1) / 3.0
+        return (self.scalar_saturation_gbs * (1 - blend)
+                + self.vector_saturation_gbs * blend)
+
+    def requested_gbs(self, operands_per_cycle: float,
+                      frequency_mhz: float,
+                      element_bytes: int = 4) -> float:
+        """Bandwidth the design would consume with infinite memory."""
+        return (operands_per_cycle * element_bytes
+                * frequency_mhz * 1e6 / 1e9)
+
+    def effective_gbs(self, operands_per_cycle: float,
+                      frequency_mhz: float,
+                      vector_width: int = 1,
+                      element_bytes: int = 4) -> float:
+        """Served bandwidth for a given request rate (smooth-min curve)."""
+        requested = self.requested_gbs(operands_per_cycle, frequency_mhz,
+                                       element_bytes)
+        return self.smooth_min(requested, self.saturation_gbs(vector_width))
+
+    def efficiency(self, operands_per_cycle: float, frequency_mhz: float,
+                   vector_width: int = 1, element_bytes: int = 4) -> float:
+        """Served / requested ratio (the fractions printed in Fig. 16)."""
+        requested = self.requested_gbs(operands_per_cycle, frequency_mhz,
+                                       element_bytes)
+        if requested == 0:
+            return 1.0
+        return self.effective_gbs(operands_per_cycle, frequency_mhz,
+                                  vector_width, element_bytes) / requested
+
+    def smooth_min(self, requested: float, saturation: float) -> float:
+        """``requested`` for small loads, ``saturation`` for large, with
+        a soft knee: ``r / (1 + (r/s)^p)^(1/p)``."""
+        if requested <= 0:
+            return 0.0
+        ratio = requested / saturation
+        return requested / (1.0 + ratio ** self.knee) ** (1.0 / self.knee)
+
+    def throughput_factor(self, operands_per_cycle: float,
+                          frequency_mhz: float, vector_width: int = 1,
+                          element_bytes: int = 4) -> float:
+        """Fraction of peak pipeline rate a memory-bound design sustains.
+
+        A design needing more bandwidth than the crossbar serves is
+        throttled proportionally: the pipeline processes
+        ``effective/requested`` words per cycle on average.
+        """
+        return min(1.0, self.efficiency(operands_per_cycle, frequency_mhz,
+                                        vector_width, element_bytes))

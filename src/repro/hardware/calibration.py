@@ -1,0 +1,126 @@
+"""Calibration constants for the hardware models.
+
+Every constant here is anchored to a number reported in the paper (or in
+the public Stratix 10 GX 2800 datasheet); the comment next to each states
+the anchor. These are the *only* free parameters of the reproduction —
+all benchmark "measurements" derive from them plus the analytical and
+cycle-level models.
+"""
+
+from __future__ import annotations
+
+# -- Stratix 10 GX 2800 device (Tab. I, "Total"/"Avail." rows) ---------------
+
+#: Logic elements of the full device.
+S10_ALM_TOTAL = 933_120
+#: Flip-flops (2 per ALM).
+S10_FF_TOTAL = 3_732_480
+#: M20K on-chip RAM blocks (20 Kbit each).
+S10_M20K_TOTAL = 11_721
+#: Hardened floating-point DSP blocks.
+S10_DSP_TOTAL = 5_760
+#: Resources available to user logic under the BittWare p520 shell
+#: (Tab. I "Avail." row: 692K ALM / 2.8M FF / 8.9K M20K / 4468 DSP).
+S10_ALM_AVAILABLE = 692_000
+S10_FF_AVAILABLE = 2_800_000
+S10_M20K_AVAILABLE = 8_900
+S10_DSP_AVAILABLE = 4_468
+
+#: Four DDR4-2400 banks, 19.2 GB/s each (Sec. VIII-B: 76.8 GB/s peak).
+S10_PEAK_BANDWIDTH_GBS = 76.8
+S10_MEMORY_BANKS = 4
+
+#: Benchmarked designs closed timing at 292-317 MHz (Sec. VIII-C).
+S10_FMAX_MHZ = 317.0
+S10_FMIN_MHZ = 292.0
+
+#: Estimated die area (Sec. IX-C: 700 mm^2 on Intel 14 nm).
+S10_DIE_AREA_MM2 = 700.0
+
+#: Four QSFP ports at 40 Gbit/s; chained devices use two links each way
+#: (Sec. VIII-B).
+S10_NETWORK_PORT_GBITS = 40.0
+S10_NETWORK_PORTS = 4
+S10_LINKS_PER_NEIGHBOR = 2
+
+# -- Memory-crossbar effective bandwidth (Fig. 16) ---------------------------
+
+#: Scalar (W=1) access points saturate at 36.4 GB/s = 47% of peak.
+CROSSBAR_SCALAR_SATURATION_GBS = 36.4
+#: 4-way (and wider) vectorized access points saturate at 58.3 GB/s = 76%.
+CROSSBAR_VECTOR_SATURATION_GBS = 58.3
+#: Sharpness of the soft saturation knee. Fit against Fig. 16's measured
+#: efficiencies (1.00/1.00/1.00/0.89/0.74/0.62 for 8..48 scalar operands).
+CROSSBAR_KNEE_SHARPNESS = 10.0
+
+#: Mixed read/write streaming traffic of the horizontal-diffusion kernel
+#: achieves this fraction of the crossbar saturation bandwidth
+#: (Tab. II: 145 GOp/s at AI 65/18 Op/B -> 40.2 GB/s = 0.69 * 58.3).
+HDIFF_MEMORY_EFFICIENCY = 0.69
+
+# -- Resource cost model (fit against Tab. I) --------------------------------
+
+#: Hardened FP32 DSP usage per operation.
+DSP_PER_OP = {
+    "add": 1, "mul": 1,
+    # Dividers and roots are built from DSPs plus soft logic.
+    "div": 8, "sqrt": 8,
+    # Comparisons, selects, min/max map to ALMs only.
+    "min": 0, "max": 0, "cmp": 0, "select": 0, "other": 4,
+}
+
+#: Soft-logic (ALM) usage per operation instance.
+ALM_PER_OP = {
+    "add": 65, "mul": 55, "div": 2200, "sqrt": 1800,
+    "min": 220, "max": 220, "cmp": 130, "select": 90, "other": 900,
+}
+
+#: Per-stencil-unit infrastructure: pipeline control, address generation,
+#: channel adapters (fit: Jacobi 3D chain, Tab. I row 1).
+ALM_PER_STENCIL_UNIT = 1_400
+#: Per boundary-predicated access (guards + mux per lane).
+ALM_PER_BOUNDARY_ACCESS = 60
+#: Per channel endpoint.
+ALM_PER_CHANNEL = 180
+#: Flip-flop to ALM ratio of pipelined designs (Tab. I: 2.3-3.0).
+FF_PER_ALM = 2.7
+
+#: Usable bits per M20K block in the 512 x 32 bit configuration used for
+#: stream FIFOs and shift registers.
+M20K_USABLE_BITS = 16_384
+#: Minimum M20K blocks per channel FIFO / per internal buffer bank.
+M20K_MIN_PER_BUFFER = 1
+#: M20K blocks of fixed infrastructure per stencil unit (prefetchers,
+#: output staging).
+M20K_PER_STENCIL_UNIT = 2
+
+# -- Frequency model ----------------------------------------------------------
+
+#: MHz lost per unit of ALM utilisation above the routing-pressure knee.
+FREQ_SLOPE_MHZ = 55.0
+#: ALM utilisation below which designs close at Fmax.
+FREQ_KNEE_UTILIZATION = 0.25
+#: Hard floor used by the model (large designs in the paper stay >= 250).
+FREQ_FLOOR_MHZ = 250.0
+
+#: Clock the multi-device designs close at: the SMI networking shell
+#: costs routing slack (fit: Fig. 14/15 multi-node bars — 388 GOp/s at
+#: 1792 Op/cycle, 1537 at 7168, all implying ~215 MHz).
+MULTI_NODE_FREQ_MHZ = 215.0
+
+# -- Load/store comparison platforms (Tab. II) --------------------------------
+
+#: Peak memory bandwidth, GB/s.
+XEON_PEAK_BW_GBS = 68.0
+P100_PEAK_BW_GBS = 732.0
+V100_PEAK_BW_GBS = 900.0
+
+#: Fraction of each platform's bandwidth roofline achieved on horizontal
+#: diffusion by the Dawn-generated code (Tab. II "%Roof." column).
+XEON_HDIFF_ROOF_FRACTION = 0.13
+P100_HDIFF_ROOF_FRACTION = 0.08
+V100_HDIFF_ROOF_FRACTION = 0.26
+
+#: Die areas, mm^2 (Sec. IX-C).
+P100_DIE_AREA_MM2 = 610.0
+V100_DIE_AREA_MM2 = 815.0

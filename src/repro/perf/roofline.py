@@ -1,0 +1,46 @@
+"""Roofline-model arithmetic (Sec. IX-A, Eqs. 2-4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def roofline_gops(intensity_ops_per_byte: float,
+                  bandwidth_gbs: float) -> float:
+    """Bandwidth-bound performance ceiling (Eq. 3).
+
+    >>> round(roofline_gops(65/18, 58.3), 1)
+    210.5
+    """
+    return intensity_ops_per_byte * bandwidth_gbs
+
+
+def required_bandwidth_gbs(performance_gops: float,
+                           intensity_ops_per_byte: float) -> float:
+    """Bandwidth needed to sustain a compute rate at an intensity (Eq. 4).
+
+    >>> round(required_bandwidth_gbs(917.1, 65/18), 1)
+    254.0
+    """
+    return performance_gops / intensity_ops_per_byte
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One platform/kernel point in roofline space."""
+
+    name: str
+    intensity_ops_per_byte: float
+    bandwidth_gbs: float
+    achieved_gops: float
+
+    @property
+    def ceiling_gops(self) -> float:
+        return roofline_gops(self.intensity_ops_per_byte,
+                             self.bandwidth_gbs)
+
+    @property
+    def roof_fraction(self) -> float:
+        """Fraction of the bandwidth roofline achieved (Tab. II %Roof.)."""
+        ceiling = self.ceiling_gops
+        return self.achieved_gops / ceiling if ceiling else 0.0

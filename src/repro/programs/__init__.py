@@ -1,0 +1,39 @@
+"""Bundled stencil programs: iterative kernels and the COSMO case study."""
+
+from .catalog import available_programs, build, laplace2d
+from .horizontal_diffusion import (
+    BENCHMARK_DOMAIN,
+    PAPER_AI_OPS_PER_BYTE,
+    PAPER_AI_OPS_PER_OPERAND,
+    PAPER_CENSUS,
+    horizontal_diffusion,
+)
+from .iterative import (
+    SCALING_DOMAIN,
+    chain,
+    dense_stencil_code,
+    diffusion2d_code,
+    diffusion3d_code,
+    jacobi2d_code,
+    jacobi3d_code,
+    single,
+)
+
+__all__ = [
+    "BENCHMARK_DOMAIN",
+    "PAPER_AI_OPS_PER_BYTE",
+    "PAPER_AI_OPS_PER_OPERAND",
+    "PAPER_CENSUS",
+    "SCALING_DOMAIN",
+    "available_programs",
+    "build",
+    "chain",
+    "dense_stencil_code",
+    "diffusion2d_code",
+    "diffusion3d_code",
+    "horizontal_diffusion",
+    "jacobi2d_code",
+    "jacobi3d_code",
+    "laplace2d",
+    "single",
+]

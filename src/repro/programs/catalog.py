@@ -1,0 +1,60 @@
+"""Named catalog of bundled stencil programs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..core.program import StencilProgram
+from ..errors import DefinitionError
+from . import iterative
+from .horizontal_diffusion import horizontal_diffusion
+
+
+def laplace2d(shape: Tuple[int, int] = (64, 64),
+              vectorization: int = 1) -> StencilProgram:
+    """The 2D Laplace operator of Fig. 9."""
+    return StencilProgram.from_json({
+        "name": "laplace2d",
+        "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+        "outputs": ["b"],
+        "shape": list(shape),
+        "vectorization": vectorization,
+        "program": {
+            "b": {"code": ("-4.0*a[i,j] + a[i-1,j] + a[i+1,j] "
+                           "+ a[i,j-1] + a[i,j+1]"),
+                  "boundary_condition": "shrink"},
+        },
+    })
+
+
+_BUILDERS: Dict[str, Callable[..., StencilProgram]] = {
+    "laplace2d": laplace2d,
+    "jacobi2d": lambda **kw: iterative.single("jacobi2d",
+                                              shape=kw.pop("shape", (64, 64)),
+                                              **kw),
+    "jacobi3d": lambda **kw: iterative.single("jacobi3d", **kw),
+    "diffusion2d": lambda **kw: iterative.single(
+        "diffusion2d", shape=kw.pop("shape", (64, 64)), **kw),
+    "diffusion3d": lambda **kw: iterative.single("diffusion3d", **kw),
+    "horizontal_diffusion": horizontal_diffusion,
+}
+
+
+def available_programs() -> Tuple[str, ...]:
+    """Names accepted by :func:`build`."""
+    return tuple(sorted(_BUILDERS))
+
+
+def build(name: str, **kwargs) -> StencilProgram:
+    """Build a catalog program by name.
+
+    >>> build("laplace2d", shape=(16, 16)).stencil_names
+    ('b',)
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise DefinitionError(
+            f"unknown program {name!r}; available: "
+            f"{', '.join(available_programs())}") from None
+    return builder(**kwargs)

@@ -1,0 +1,152 @@
+"""Iterative-style stencil kernels and chain generators (Sec. VIII-C).
+
+The paper establishes peak performance by chaining long linear sequences
+of identical stencils over a large domain — analogous to time-tiled
+iterative stencils — then growing the chain across devices. These
+builders produce those programs: classic Jacobi/diffusion kernels in 2D
+and 3D, plus a parametric chain generator.
+
+Fig. 14 uses 8-Op stencils on a 2^15 x 32 x 32 domain; Fig. 15 uses
+24-Op stencils with W = 4 on the same domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.program import StencilProgram
+from ..errors import DefinitionError
+
+#: The paper's scaling-benchmark domain: 2^15 x 32 x 32.
+SCALING_DOMAIN = (1 << 15, 32, 32)
+
+
+def jacobi3d_code(field: str) -> str:
+    """7-point Jacobi update — 8 FP operations (6 adds, 2 muls)."""
+    return (f"0.4*{field}[i,j,k] + 0.1*({field}[i-1,j,k] + "
+            f"{field}[i+1,j,k] + {field}[i,j-1,k] + {field}[i,j+1,k] + "
+            f"{field}[i,j,k-1] + {field}[i,j,k+1])")
+
+
+def jacobi2d_code(field: str) -> str:
+    """4-point Jacobi update — 4 FP operations (3 adds, 1 mul)."""
+    return (f"0.25*({field}[i-1,j] + {field}[i+1,j] + "
+            f"{field}[i,j-1] + {field}[i,j+1])")
+
+
+def diffusion3d_code(field: str) -> str:
+    """7-point diffusion with per-direction coefficients — 13 FP ops."""
+    return (f"0.35*{field}[i,j,k] + 0.11*{field}[i-1,j,k] + "
+            f"0.105*{field}[i+1,j,k] + 0.115*{field}[i,j-1,k] + "
+            f"0.1*{field}[i,j+1,k] + 0.12*{field}[i,j,k-1] + "
+            f"0.1*{field}[i,j,k+1]")
+
+
+def diffusion2d_code(field: str) -> str:
+    """5-point diffusion with per-direction coefficients — 9 FP ops."""
+    return (f"0.4*{field}[i,j] + 0.15*{field}[i-1,j] + "
+            f"0.15*{field}[i+1,j] + 0.15*{field}[i,j-1] + "
+            f"0.15*{field}[i,j+1]")
+
+
+def dense_stencil_code(field: str, ops: int) -> str:
+    """A 3D stencil with exactly ``ops`` FP operations (ops >= 8).
+
+    Starts from the 8-op Jacobi core and appends weighted diagonal
+    terms, two ops each (one multiply, one add), to coarsen the node —
+    the technique Fig. 15 uses (24-Op stencils) to improve the ratio of
+    useful compute to pipeline overhead.
+    """
+    if ops < 8:
+        raise DefinitionError(f"dense stencil needs >= 8 ops, got {ops}")
+    if ops % 2 != 0:
+        raise DefinitionError(f"op count must be even, got {ops}")
+    code = jacobi3d_code(field)
+    extras = [
+        (1, 1, 0), (1, -1, 0), (-1, 1, 0), (-1, -1, 0),
+        (0, 1, 1), (0, 1, -1), (0, -1, 1), (0, -1, -1),
+        (1, 0, 1), (1, 0, -1), (-1, 0, 1), (-1, 0, -1),
+    ]
+    needed = (ops - 8) // 2
+    if needed > len(extras):
+        raise DefinitionError(
+            f"dense stencil supports at most {8 + 2 * len(extras)} ops")
+    for n in range(needed):
+        di, dj, dk = extras[n]
+        term = f"{field}[{_idx('i', di)},{_idx('j', dj)},{_idx('k', dk)}]"
+        code += f" + 0.01*{term}"
+    return code
+
+
+def _idx(name: str, off: int) -> str:
+    if off == 0:
+        return name
+    return f"{name}{'+' if off > 0 else '-'}{abs(off)}"
+
+
+def chain(length: int,
+          shape: Tuple[int, ...] = SCALING_DOMAIN,
+          kernel: str = "jacobi3d",
+          vectorization: int = 1,
+          ops_per_stencil: Optional[int] = None,
+          dtype: str = "float32") -> StencilProgram:
+    """A linear chain of ``length`` identical stencils.
+
+    Args:
+        length: number of chained stencil stages (>= 1).
+        shape: iteration domain.
+        kernel: one of ``jacobi3d``, ``jacobi2d``, ``diffusion3d``,
+            ``diffusion2d``, or ``dense`` (which requires
+            ``ops_per_stencil``).
+        vectorization: SIMD width W.
+        ops_per_stencil: op count for the ``dense`` kernel.
+        dtype: element type of the streamed field.
+    """
+    if length < 1:
+        raise DefinitionError(f"chain length must be >= 1, got {length}")
+    builders = {
+        "jacobi3d": (jacobi3d_code, 3),
+        "jacobi2d": (jacobi2d_code, 2),
+        "diffusion3d": (diffusion3d_code, 3),
+        "diffusion2d": (diffusion2d_code, 2),
+    }
+    if kernel == "dense":
+        if ops_per_stencil is None:
+            raise DefinitionError("dense kernel requires ops_per_stencil")
+        builder = lambda f: dense_stencil_code(f, ops_per_stencil)  # noqa: E731
+        rank = 3
+    else:
+        try:
+            builder, rank = builders[kernel]
+        except KeyError:
+            raise DefinitionError(f"unknown kernel {kernel!r}") from None
+    if len(shape) != rank:
+        raise DefinitionError(
+            f"{kernel} needs a {rank}D domain, got shape {shape}")
+
+    dims = ["i", "j", "k"][:rank]
+    program = {}
+    prev = "inp"
+    for n in range(length):
+        name = f"s{n}"
+        program[name] = {
+            "code": builder(prev),
+            "boundary_condition": {prev: {"type": "constant", "value": 0}},
+        }
+        prev = name
+    return StencilProgram.from_json({
+        "name": f"{kernel}_chain{length}",
+        "inputs": {"inp": {"dtype": dtype, "dims": dims}},
+        "outputs": [prev],
+        "shape": list(shape),
+        "vectorization": vectorization,
+        "program": program,
+    })
+
+
+def single(kernel: str = "jacobi3d",
+           shape: Tuple[int, ...] = (64, 64, 64),
+           vectorization: int = 1) -> StencilProgram:
+    """A one-stencil program, convenient for small experiments."""
+    return chain(1, shape=shape, kernel=kernel,
+                 vectorization=vectorization)

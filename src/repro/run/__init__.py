@@ -1,0 +1,12 @@
+"""Program execution: reference executor and end-to-end sessions."""
+
+from .reference import FieldResult, Region, run_reference
+from .session import RunResult, Session
+
+__all__ = [
+    "FieldResult",
+    "Region",
+    "RunResult",
+    "Session",
+    "run_reference",
+]

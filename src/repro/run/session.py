@@ -1,0 +1,147 @@
+"""End-to-end sessions: the full workflow of Fig. 13 in one object.
+
+A :class:`Session` takes a stencil program through parsing/validation,
+dependency and buffering analysis, optional canonicalization
+(fusion), SDFG generation, code generation, simulated hardware
+execution, and validation of results against the sequential reference —
+the same steps the paper's stack performs transparently when running a
+program from its input description (Sec. VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..analysis.deadlock import certify_analysis
+from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..codegen import generate_package
+from ..core.program import StencilProgram
+from ..distributed.partition import Partition, partition_program
+from ..errors import ValidationError
+from ..hardware.platform import FPGAPlatform, STRATIX10
+from ..perf.pipeline import PerformanceReport, model_performance
+from ..sdfg.build import build_sdfg
+from ..sdfg.graph import SDFG
+from ..simulator.engine import (
+    SimulationResult,
+    Simulator,
+    SimulatorConfig,
+    simulate,
+)
+from ..transforms.canonicalize import canonicalize as canonicalize_program
+from .reference import FieldResult, run_reference
+
+
+@dataclass
+class RunResult:
+    """Outcome of a session run.
+
+    Attributes:
+        outputs: program outputs from the simulated hardware.
+        simulation: the cycle-level simulation record.
+        reference: the sequential reference results (all stencils).
+        validated: True when hardware output matched the reference on
+            every output's valid region.
+    """
+
+    outputs: Dict[str, np.ndarray]
+    simulation: SimulationResult
+    reference: Dict[str, FieldResult]
+    validated: bool
+
+
+class Session:
+    """Drives one stencil program through the full stack.
+
+    Args:
+        program: the stencil program (or a JSON dict / path handled by
+            :meth:`from_json` / :meth:`from_file`).
+        platform: modeled target device.
+        canonicalize: apply constant folding + aggressive stencil fusion
+            before mapping (the paper's benchmark setting).
+    """
+
+    def __init__(self, program: StencilProgram,
+                 platform: FPGAPlatform = STRATIX10,
+                 canonicalize: bool = False):
+        if canonicalize:
+            program = canonicalize_program(program)
+        self.program = program
+        self.platform = platform
+        self._analysis: Optional[BufferingAnalysis] = None
+
+    @classmethod
+    def from_json(cls, spec: Mapping, **kwargs) -> "Session":
+        return cls(StencilProgram.from_json(spec), **kwargs)
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "Session":
+        return cls(StencilProgram.from_json_file(path), **kwargs)
+
+    # -- pipeline stages -----------------------------------------------------
+
+    @property
+    def analysis(self) -> BufferingAnalysis:
+        """Buffering analysis (computed once, cached)."""
+        if self._analysis is None:
+            self._analysis = analyze_buffers(self.program)
+            certify_analysis(self._analysis)
+        return self._analysis
+
+    def sdfg(self) -> SDFG:
+        """The program lowered to the data-centric IR."""
+        return build_sdfg(self.program, self.analysis)
+
+    def partition(self, max_devices: int = 8) -> Partition:
+        """Resource-driven multi-device partition (Sec. III-B)."""
+        return partition_program(self.program, self.platform,
+                                 max_devices=max_devices,
+                                 analysis=self.analysis)
+
+    def code_package(self, partition: Optional[Partition] = None
+                     ) -> Dict[str, str]:
+        """Generated OpenCL/host/SMI/reference sources."""
+        return generate_package(self.program, self.analysis, partition)
+
+    def performance(self, **kwargs) -> PerformanceReport:
+        """Modeled performance on the session platform (Eq. 1 + models)."""
+        return model_performance(self.program, self.platform,
+                                 analysis=self.analysis, **kwargs)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, np.ndarray],
+            config: Optional[SimulatorConfig] = None,
+            device_of: Optional[Mapping[str, int]] = None,
+            validate: bool = True,
+            rtol: float = 1e-5,
+            atol: float = 1e-6) -> RunResult:
+        """Simulate the design and validate against the reference.
+
+        Raises :class:`ValidationError` when ``validate`` is set and any
+        output mismatches the sequential reference on its valid region.
+        """
+        simulation = simulate(self.program, inputs, config, device_of)
+        reference = run_reference(self.program, inputs)
+        validated = False
+        if validate:
+            for name in self.program.outputs:
+                expected = reference[name]
+                got = simulation.outputs[name][expected.valid_slice]
+                if not np.allclose(got, expected.valid_view, rtol=rtol,
+                                   atol=atol, equal_nan=True):
+                    worst = np.nanmax(np.abs(
+                        got - expected.valid_view).astype(np.float64))
+                    raise ValidationError(
+                        f"output {name!r} deviates from the reference "
+                        f"(max abs error {worst:g})")
+            validated = True
+        return RunResult(
+            outputs=simulation.outputs,
+            simulation=simulation,
+            reference=reference,
+            validated=validated,
+        )

@@ -1,0 +1,39 @@
+"""Mini data-centric IR (SDFG) with stencil library nodes."""
+
+from .build import build_sdfg, expand_stencil_node, stream_name
+from .descriptors import Array, Scalar, Stream
+from .graph import SDFG, SDFGState, StateEdge
+from .memlet import Memlet
+from .nodes import (
+    AccessNode,
+    LibraryNode,
+    MapEntry,
+    MapExit,
+    Node,
+    PipelineEntry,
+    PipelineExit,
+    StencilLibraryNode,
+    Tasklet,
+)
+
+__all__ = [
+    "AccessNode",
+    "Array",
+    "LibraryNode",
+    "MapEntry",
+    "MapExit",
+    "Memlet",
+    "Node",
+    "PipelineEntry",
+    "PipelineExit",
+    "SDFG",
+    "SDFGState",
+    "Scalar",
+    "StateEdge",
+    "StencilLibraryNode",
+    "Stream",
+    "Tasklet",
+    "build_sdfg",
+    "expand_stencil_node",
+    "stream_name",
+]

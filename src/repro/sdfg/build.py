@@ -1,0 +1,233 @@
+"""Building SDFGs from stencil programs, and expanding stencil nodes.
+
+``build_sdfg`` lowers an analyzed stencil program to the data-centric
+representation: global arrays for program inputs/outputs, one stream per
+dataflow edge (with the delay-buffer depth computed by the analysis),
+memory-reader/writer tasklets, and one ``Stencil`` library node per
+operation.
+
+``expand_stencil_node`` lowers a library node to the Fig. 12 subgraph:
+a pipeline scope containing a fully unrolled *shift* phase, an *update*
+phase reading new values from the input streams into the front of each
+shift register, and a *compute* phase feeding a conditional-write
+tasklet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..core.program import StencilProgram
+from ..errors import GraphError
+from .graph import SDFG, SDFGState
+from .memlet import Memlet
+from .nodes import (
+    AccessNode,
+    MapEntry,
+    MapExit,
+    PipelineEntry,
+    PipelineExit,
+    StencilLibraryNode,
+    Tasklet,
+)
+
+
+def stream_name(edge_src: str, edge_dst: str, data: str) -> str:
+    """Canonical stream container name for one dataflow edge."""
+    src = edge_src.replace(":", "_")
+    dst = edge_dst.replace(":", "_")
+    return f"{data}__{src}__to__{dst}"
+
+
+def build_sdfg(program: StencilProgram,
+               analysis: Optional[BufferingAnalysis] = None) -> SDFG:
+    """Lower an analyzed program to an SDFG with stencil library nodes."""
+    analysis = analysis or analyze_buffers(program)
+    graph = analysis.graph
+    width = program.vectorization
+    sdfg = SDFG(program.name)
+    state = sdfg.add_state("main")
+
+    # Containers: global arrays for inputs/outputs, streams for edges.
+    for name, spec in program.inputs.items():
+        sdfg.add_array(name, spec.shape(program.shape,
+                                        program.index_names) or (1,),
+                       spec.dtype)
+    for name in program.outputs:
+        sdfg.add_array(f"{name}_out", program.shape,
+                       program.field_dtype(name))
+    for (src, dst, data), buffer in analysis.delay_buffers.items():
+        sdfg.add_stream(stream_name(src, dst, data),
+                        program.field_dtype(data),
+                        buffer_size=buffer.size,
+                        vector_width=width)
+
+    # Memory readers (dedicated prefetchers, Sec. VI-A).
+    stream_access: Dict[Tuple[str, str, str], AccessNode] = {}
+    for name in program.inputs:
+        node_id = f"input:{name}"
+        out_edges = graph.out_edges(node_id)
+        if not out_edges:
+            continue
+        array = state.add_access(name)
+        reader = state.add_node(Tasklet(
+            f"read_{name}", ("mem",),
+            tuple(f"to_{n}" for n in range(len(out_edges))),
+            f"stream {name} from DRAM"))
+        state.add_edge(array, reader,
+                       Memlet(name, volume=program.num_cells), "", "mem")
+        for n, edge in enumerate(out_edges):
+            access = state.add_access(
+                stream_name(edge.src, edge.dst, edge.data))
+            stream_access[(edge.src, edge.dst, edge.data)] = access
+            state.add_edge(reader, access,
+                           Memlet(access.data,
+                                  volume=program.num_cells // width),
+                           f"to_{n}", "")
+
+    # Stencil library nodes.
+    for stencil in program.stencils:
+        node_id = f"stencil:{stencil.name}"
+        library = StencilLibraryNode(stencil, program.shape, width)
+        library.internal_buffers = {
+            field: buf.size
+            for field, buf in analysis.internal[stencil.name].buffers.items()
+        }
+        library.field_dims = {
+            f: program.field_dims(f) for f in stencil.accessed_fields}
+        state.add_node(library)
+        for edge in graph.in_edges(node_id):
+            access = stream_access[(edge.src, edge.dst, edge.data)]
+            state.add_edge(access, library,
+                           Memlet(access.data,
+                                  volume=program.num_cells // width),
+                           "", edge.data)
+        for edge in graph.out_edges(node_id):
+            access = state.add_access(
+                stream_name(edge.src, edge.dst, edge.data))
+            stream_access[(edge.src, edge.dst, edge.data)] = access
+            state.add_edge(library, access,
+                           Memlet(access.data,
+                                  volume=program.num_cells // width),
+                           stencil.name, "")
+
+    # Memory writers at sink nodes.
+    for name in program.outputs:
+        node_id = f"output:{name}"
+        (edge,) = graph.in_edges(node_id)
+        access = stream_access[(edge.src, edge.dst, edge.data)]
+        writer = state.add_node(Tasklet(
+            f"write_{name}", ("data",), ("mem",),
+            f"drain {name} to DRAM"))
+        array = state.add_access(f"{name}_out")
+        state.add_edge(access, writer,
+                       Memlet(access.data,
+                              volume=program.num_cells // width),
+                       "", "data")
+        state.add_edge(writer, array,
+                       Memlet(f"{name}_out", volume=program.num_cells),
+                       "mem", "")
+
+    sdfg.validate()
+    return sdfg
+
+
+def expand_stencil_node(sdfg: SDFG, state: SDFGState,
+                        node: StencilLibraryNode):
+    """Expand one stencil library node to the Fig. 12 subgraph."""
+    stencil = node.definition
+    width = node.vector_width
+    num_cells = 1
+    for extent in node.shape:
+        num_cells *= extent
+    buffers: Dict[str, int] = getattr(node, "internal_buffers", {})
+    init = max(buffers.values(), default=0)
+
+    in_edges = state.in_edges(node)
+    out_edges = state.out_edges(node)
+
+    pipeline = state.add_node(PipelineEntry(
+        f"{stencil.name}_pipeline", ("t",),
+        ((0, num_cells // width),),
+        init_size=-(-init // width)))
+    pipeline_exit = state.add_node(PipelineExit(pipeline))
+
+    # Shift phase: one fully unrolled map per internal buffer.
+    shift_outputs = []
+    for field, size in buffers.items():
+        buffer_name = f"{stencil.name}_{field}_buffer"
+        if buffer_name not in sdfg.data:
+            sdfg.add_array(buffer_name, (size,),
+                           _dtype_of(sdfg, field), storage="local")
+        buffer_in = state.add_access(buffer_name)
+        shift_entry = state.add_node(MapEntry(
+            f"shift_{stencil.name}_{field}", ("s",),
+            ((0, size - width),), unrolled=True))
+        shift_exit = state.add_node(MapExit(shift_entry))
+        shift = state.add_node(Tasklet(
+            f"shift_{stencil.name}_{field}", ("prev",), ("next",),
+            f"{buffer_name}[s + {width}] = {buffer_name}[s]"))
+        buffer_mid = state.add_access(buffer_name)
+        state.add_edge(pipeline, buffer_in, Memlet(buffer_name))
+        state.add_edge(buffer_in, shift_entry,
+                       Memlet(buffer_name, volume=size))
+        state.add_edge(shift_entry, shift,
+                       Memlet(buffer_name, "s", 1), "", "prev")
+        state.add_edge(shift, shift_exit,
+                       Memlet(buffer_name, f"s+{width}", 1), "next", "")
+        state.add_edge(shift_exit, buffer_mid, Memlet(buffer_name))
+        shift_outputs.append((field, buffer_mid, buffer_name))
+
+    # Update phase: pop new words from input streams into buffer fronts.
+    compute_inputs = []
+    buffered_fields = {field for field, _node, _n in shift_outputs}
+    for edge in in_edges:
+        field = edge.dst_connector
+        update = state.add_node(Tasklet(
+            f"read_{stencil.name}_{field}", ("stream_in",), ("front",),
+            "read_wavefront"))
+        state.add_edge(edge.src, update,
+                       edge.memlet, "", "stream_in")
+        if field in buffered_fields:
+            buffer_name = f"{stencil.name}_{field}_buffer"
+            front = state.add_access(buffer_name)
+            state.add_edge(update, front,
+                           Memlet(buffer_name, f"0:{width}", width),
+                           "front", "")
+            compute_inputs.append((field, front, buffer_name))
+        else:
+            compute_inputs.append((field, update, None))
+    for field, buffer_mid, buffer_name in shift_outputs:
+        compute_inputs.append((f"{field}_taps", buffer_mid, buffer_name))
+
+    # Compute phase: the stencil code, vector-unrolled, feeding a
+    # conditional write (suppressed during the initialization phase).
+    compute = state.add_node(Tasklet(
+        f"{stencil.name}_compute",
+        tuple(f for f, _n, _b in compute_inputs), ("result",),
+        stencil.code))
+    for field, src_node, buffer_name in compute_inputs:
+        if isinstance(src_node, Tasklet):
+            state.add_edge(src_node, compute, Memlet(""), "front", field)
+        else:
+            state.add_edge(src_node, compute,
+                           Memlet(buffer_name or src_node.data),
+                           "", field)
+    writer = state.add_node(Tasklet(
+        f"{stencil.name}_conditional_write", ("result",), ("stream_out",),
+        f"if not initializing: push {stencil.name}"))
+    state.add_edge(compute, writer, Memlet(""), "result", "result")
+    for edge in out_edges:
+        state.add_edge(writer, edge.dst, edge.memlet, "stream_out", "")
+    state.add_edge(writer, pipeline_exit, Memlet(""))
+
+    state.remove_node(node)
+    return pipeline
+
+
+def _dtype_of(sdfg: SDFG, data: str):
+    for name, desc in sdfg.data.items():
+        if name == data or name.startswith(f"{data}__"):
+            return desc.dtype
+    raise GraphError(f"cannot find dtype for {data!r}")

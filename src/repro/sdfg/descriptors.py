@@ -1,0 +1,80 @@
+"""Data descriptors of the SDFG layer: arrays, streams, scalars.
+
+Mirrors DaCe's separation between data *containers* (declared on the
+SDFG) and the access nodes that reference them inside states (Sec. V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..core.dtypes import DType
+from ..errors import DefinitionError
+
+
+@dataclass(frozen=True)
+class Array:
+    """An off-chip (global) or on-chip (local) array container."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType
+    storage: str = "global"   # "global" (DRAM) or "local" (on-chip)
+
+    def __post_init__(self):
+        if self.storage not in ("global", "local"):
+            raise DefinitionError(
+                f"array {self.name!r}: storage must be global or local")
+        if any(extent <= 0 for extent in self.shape):
+            raise DefinitionError(
+                f"array {self.name!r}: non-positive extent in {self.shape}")
+
+    @property
+    def total_size(self) -> int:
+        size = 1
+        for extent in self.shape:
+            size *= extent
+        return size
+
+    @property
+    def bytes(self) -> int:
+        return self.total_size * self.dtype.bytes
+
+
+@dataclass(frozen=True)
+class Stream:
+    """A FIFO stream container with a compile-time buffer size.
+
+    Maps to an Intel OpenCL channel in generated code (Sec. VI-A);
+    ``buffer_size`` is the delay-buffer depth in vector words. A stream
+    whose endpoints live on different devices is *remote* and is carried
+    by SMI (Sec. VI-B).
+    """
+
+    name: str
+    dtype: DType
+    buffer_size: int
+    vector_width: int = 1
+    remote: bool = False
+
+    def __post_init__(self):
+        if self.buffer_size < 0:
+            raise DefinitionError(
+                f"stream {self.name!r}: negative buffer size")
+        if self.vector_width < 1:
+            raise DefinitionError(
+                f"stream {self.name!r}: vector width must be >= 1")
+
+    @property
+    def bytes(self) -> int:
+        return (self.buffer_size * self.vector_width
+                * self.dtype.bytes)
+
+
+@dataclass(frozen=True)
+class Scalar:
+    """A single value (0D) container."""
+
+    name: str
+    dtype: DType

@@ -1,0 +1,39 @@
+"""Memlets: explicit data-movement annotations on SDFG edges.
+
+In the data-centric model, *all* data movement is an edge attribute:
+which container moves, which subset of it, and how many elements flow
+over the scope's execution (Fig. 9's ``Volume`` labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Memlet:
+    """One data movement.
+
+    Attributes:
+        data: container name being moved.
+        subset: accessed subset as text, e.g. ``"i-1:i+2, j"`` or
+            ``"0:H, 0:W"``. Empty means the full container.
+        volume: number of elements moved per execution of the innermost
+            enclosing scope (None = dynamic/unknown).
+    """
+
+    data: str
+    subset: str = ""
+    volume: Optional[int] = None
+
+    def __str__(self) -> str:
+        text = self.data
+        if self.subset:
+            text += f"[{self.subset}]"
+        if self.volume is not None:
+            text += f" (volume {self.volume})"
+        return text
+
+
+EMPTY = Memlet(data="", subset="", volume=0)

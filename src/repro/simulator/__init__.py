@@ -1,0 +1,29 @@
+"""Cycle-level spatial-dataflow simulator (the FPGA stand-in)."""
+
+from .channel import Channel, NetworkLink
+from .compile import CompiledStencil, compile_stencil
+from .engine import (
+    SimulationResult,
+    Simulator,
+    SimulatorConfig,
+    simulate,
+)
+from .trace import Trace, TracingSimulator, simulate_traced
+from .units import SinkUnit, SourceUnit, StencilUnit
+
+__all__ = [
+    "Channel",
+    "CompiledStencil",
+    "NetworkLink",
+    "SimulationResult",
+    "Simulator",
+    "SimulatorConfig",
+    "SinkUnit",
+    "SourceUnit",
+    "StencilUnit",
+    "Trace",
+    "TracingSimulator",
+    "compile_stencil",
+    "simulate",
+    "simulate_traced",
+]

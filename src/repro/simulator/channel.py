@@ -1,0 +1,161 @@
+"""Bounded FIFO channels — the communication substrate of the simulator.
+
+Channels model the Intel OpenCL channel abstraction the generated code
+targets (Sec. VI-A): compile-time fixed capacity, blocking on full/empty.
+Network links (Sec. VI-B, SMI remote streams) add propagation latency and
+a bounded per-cycle transfer rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class Channel:
+    """A bounded FIFO carrying one stream of vector words.
+
+    Attributes:
+        name: diagnostic identifier (usually ``src->dst:data``).
+        capacity: maximum number of words held.
+    """
+
+    __slots__ = ("name", "capacity", "_queue", "pushes", "pops",
+                 "max_occupancy")
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 1:
+            raise SimulationError(
+                f"channel {name!r}: capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, word: Any):
+        if self.full:
+            raise SimulationError(f"push to full channel {self.name!r}")
+        self._queue.append(word)
+        self.pushes += 1
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+
+    def pop(self) -> Any:
+        if not self._queue:
+            raise SimulationError(f"pop from empty channel {self.name!r}")
+        self.pops += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Any:
+        if not self._queue:
+            raise SimulationError(f"peek at empty channel {self.name!r}")
+        return self._queue[0]
+
+    def __repr__(self) -> str:
+        return (f"Channel({self.name!r}, {len(self._queue)}/"
+                f"{self.capacity})")
+
+
+class NetworkLink:
+    """An inter-device stream (SMI remote channel).
+
+    Words pushed on the sending side become poppable on the receiving
+    side after ``latency`` cycles, and at most ``words_per_cycle`` words
+    cross per cycle — modeling the 40 Gbit/s QSFP links of the testbed.
+    The link must be :meth:`step`-ped once per simulation cycle.
+
+    The receive buffer is bounded like a normal channel; in-flight words
+    that arrive while it is full wait (backpressure propagates to the
+    sender through ``full``).
+    """
+
+    __slots__ = ("name", "capacity", "latency", "words_per_cycle",
+                 "_in_flight", "_ready", "pushes", "pops", "max_occupancy",
+                 "_now", "_credit")
+
+    def __init__(self, name: str, capacity: int, latency: int = 16,
+                 words_per_cycle: float = 1.0):
+        if capacity < 1:
+            raise SimulationError(
+                f"link {name!r}: capacity must be >= 1, got {capacity}")
+        if words_per_cycle <= 0:
+            raise SimulationError(
+                f"link {name!r}: words_per_cycle must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.latency = latency
+        self.words_per_cycle = words_per_cycle
+        self._in_flight: Deque[Tuple[int, Any]] = deque()
+        self._ready: Deque[Any] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+        self._now = 0
+        self._credit = 0.0
+
+    def __len__(self) -> int:
+        return len(self._in_flight) + len(self._ready)
+
+    @property
+    def full(self) -> bool:
+        """Sender-side view: no credit available."""
+        return len(self) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """Receiver-side view: nothing deliverable yet."""
+        return not self._ready
+
+    def push(self, word: Any):
+        if self.full:
+            raise SimulationError(f"push to full link {self.name!r}")
+        # The word is transmitted over the wire: it becomes available
+        # `latency` cycles from now, subject to the per-cycle rate.
+        self._in_flight.append((self._now + self.latency, word))
+        self.pushes += 1
+        if len(self) > self.max_occupancy:
+            self.max_occupancy = len(self)
+
+    def pop(self) -> Any:
+        if not self._ready:
+            raise SimulationError(f"pop from empty link {self.name!r}")
+        self.pops += 1
+        return self._ready.popleft()
+
+    def peek(self) -> Any:
+        if not self._ready:
+            raise SimulationError(f"peek at empty link {self.name!r}")
+        return self._ready[0]
+
+    def step(self, now: int):
+        """Advance time: deliver in-flight words whose latency elapsed."""
+        self._now = now
+        # Fractional rates accumulate credit: a 0.5 words/cycle link
+        # delivers one word every other cycle.
+        self._credit = min(self._credit + self.words_per_cycle,
+                           max(self.words_per_cycle, 1.0))
+        while (self._in_flight and self._credit >= 1.0
+               and self._in_flight[0][0] <= now):
+            _, word = self._in_flight.popleft()
+            self._ready.append(word)
+            self._credit -= 1.0
+
+    def __repr__(self) -> str:
+        return (f"NetworkLink({self.name!r}, ready={len(self._ready)}, "
+                f"in_flight={len(self._in_flight)})")

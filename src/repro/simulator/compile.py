@@ -1,0 +1,140 @@
+"""Compile stencil ASTs to fast per-cell Python callables.
+
+The cycle-level simulator evaluates stencil code once per cell; walking
+the AST per cell is prohibitively slow, so each stencil is compiled once
+to a Python lambda over its access values.
+
+The compiled function takes the values of the stencil's distinct field
+accesses (in a fixed order) plus the cell's index coordinates, and
+returns the output value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import CodeGenError
+from ..expr.ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+
+#: Math-function implementations made visible to compiled code.
+_ENV_FUNCS = {
+    "sqrt": math.sqrt, "cbrt": lambda x: math.copysign(abs(x) ** (1 / 3), x),
+    "exp": math.exp, "log": math.log, "log2": math.log2,
+    "log10": math.log10, "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+    "sinh": math.sinh, "cosh": math.cosh, "tanh": math.tanh,
+    "fabs": abs, "abs": abs, "floor": math.floor, "ceil": math.ceil,
+    "round": round, "min": min, "max": max, "fmin": min, "fmax": max,
+    "pow": pow, "atan2": math.atan2, "fmod": math.fmod,
+}
+
+_INDEX_ARGS = ("i", "j", "k")
+
+
+def _div(a: float, b: float) -> float:
+    """IEEE-flavoured division: finite/0 gives inf, 0/0 gives nan."""
+    try:
+        return a / b
+    except ZeroDivisionError:
+        if a == 0:
+            return math.nan
+        return math.copysign(math.inf, a)
+
+
+class CompiledStencil:
+    """A stencil expression compiled to a Python callable.
+
+    Attributes:
+        accesses: the distinct :class:`FieldAccess` nodes of the
+            expression, in deterministic order — the compiled function's
+            leading arguments correspond to these, followed by the cell
+            coordinates ``i, j, k``.
+        func: the compiled callable.
+    """
+
+    __slots__ = ("accesses", "func", "source")
+
+    def __init__(self, accesses: Tuple[FieldAccess, ...],
+                 func: Callable, source: str):
+        self.accesses = accesses
+        self.func = func
+        self.source = source
+
+    def __call__(self, access_values: List[float],
+                 coords: Tuple[int, ...]) -> float:
+        i = coords[0] if len(coords) > 0 else 0
+        j = coords[1] if len(coords) > 1 else 0
+        k = coords[2] if len(coords) > 2 else 0
+        return self.func(*access_values, i, j, k)
+
+
+def compile_stencil(ast: Expr) -> CompiledStencil:
+    """Compile an expression AST into a :class:`CompiledStencil`."""
+    accesses = _distinct_accesses(ast)
+    names = {access: f"_v{n}" for n, access in enumerate(accesses)}
+    body = _emit(ast, names)
+    params = [names[a] for a in accesses] + list(_INDEX_ARGS)
+    source = f"lambda {', '.join(params)}: {body}"
+    env = dict(_ENV_FUNCS)
+    env["_div"] = _div
+    env["bool"] = bool
+    env["__builtins__"] = {}
+    try:
+        # env is passed as the globals mapping so the names stay visible
+        # when the lambda body executes later.
+        func = eval(source, env)  # noqa: S307
+    except SyntaxError as exc:
+        raise CodeGenError(
+            f"internal error compiling stencil: {exc}\n{source}") from exc
+    return CompiledStencil(tuple(accesses), func, source)
+
+
+def _distinct_accesses(ast: Expr) -> List[FieldAccess]:
+    seen: Dict[FieldAccess, None] = {}
+    for node in ast.walk():
+        if isinstance(node, FieldAccess):
+            seen.setdefault(node)
+    return sorted(seen, key=lambda a: (a.field, a.offsets))
+
+
+def _emit(node: Expr, names: Dict[FieldAccess, str]) -> str:
+    if isinstance(node, Literal):
+        return repr(node.value)
+    if isinstance(node, IndexVar):
+        return node.name
+    if isinstance(node, FieldAccess):
+        return names[node]
+    if isinstance(node, BinaryOp):
+        left = _emit(node.left, names)
+        right = _emit(node.right, names)
+        if node.op == "/":
+            return f"_div({left}, {right})"
+        if node.op == "&&":
+            return f"(bool({left}) and bool({right}))"
+        if node.op == "||":
+            return f"(bool({left}) or bool({right}))"
+        return f"({left} {node.op} {right})"
+    if isinstance(node, UnaryOp):
+        operand = _emit(node.operand, names)
+        if node.op == "!":
+            return f"(not {operand})"
+        return f"({node.op}{operand})"
+    if isinstance(node, Ternary):
+        cond = _emit(node.cond, names)
+        then = _emit(node.then, names)
+        orelse = _emit(node.orelse, names)
+        return f"({then} if {cond} else {orelse})"
+    if isinstance(node, Call):
+        args = ", ".join(_emit(a, names) for a in node.args)
+        return f"{node.func}({args})"
+    raise CodeGenError(f"cannot compile AST node {type(node).__name__}")

@@ -1,0 +1,311 @@
+"""The cycle-level simulation engine.
+
+Builds a dataflow machine from a :class:`BufferingAnalysis` — one source
+unit per input, one pipelined unit per stencil, one sink per program
+output, bounded channels on every edge — and steps it cycle by cycle
+until completion, detecting deadlocks.
+
+This machine is the reproduction's stand-in for the paper's FPGA: the
+performance model ``C = L + I·N`` (Eq. 1), the deadlock behaviour of
+Fig. 4, and the delay-buffer sizing of Sec. IV-B are all observable (and
+tested) against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..core.program import StencilProgram
+from ..errors import DeadlockError, SimulationError, ValidationError
+from ..expr.latency import critical_path
+from ..graph.dag import StencilGraph
+from .channel import Channel, NetworkLink
+from .units import SinkUnit, SourceUnit, StencilUnit, Unit
+
+ChannelKey = Tuple[str, str, str]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a completed simulation.
+
+    Attributes:
+        outputs: program outputs, shaped over the domain.
+        cycles: total cycles until the last sink completed.
+        expected_cycles: the Eq. 1 model prediction ``L + N/W`` for the
+            same design (analysis latency + steady-state words).
+        stall_cycles: per-unit total stall count.
+        steady_stall_cycles: per-stencil stalls after its init phase —
+            zero for a correctly buffered, source-fed design.
+        channel_occupancy: per-channel high-water mark.
+    """
+
+    outputs: Dict[str, np.ndarray]
+    cycles: int
+    expected_cycles: int
+    stall_cycles: Dict[str, int]
+    steady_stall_cycles: Dict[str, int]
+    channel_occupancy: Dict[str, int]
+    output_continuous: Dict[str, bool] = field(default_factory=dict)
+    stencil_continuous: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def model_accuracy(self) -> float:
+        """Measured/expected cycle ratio (1.0 = model exact)."""
+        if self.expected_cycles == 0:
+            return float("nan")
+        return self.cycles / self.expected_cycles
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Tunables of the simulated machine.
+
+    Attributes:
+        min_channel_depth: capacity added on top of each edge's computed
+            delay buffer (hardware FIFOs have a minimum depth; Intel
+            channels default to a small number of words).
+        max_cycles: hard cap, guards against livelock in tests. ``None``
+            derives a generous cap from the expected cycle count.
+        deadlock_window: consecutive zero-progress cycles after which a
+            deadlock is declared (covers in-flight network latency).
+        channel_capacities: explicit per-edge capacity overrides; wins
+            over the analysis. Used to demonstrate deadlocks with
+            under-provisioned channels (Fig. 4).
+        network_latency: cycles of propagation on inter-device links.
+        network_words_per_cycle: per-link transfer rate cap.
+    """
+
+    min_channel_depth: int = 8
+    max_cycles: Optional[int] = None
+    deadlock_window: int = 256
+    channel_capacities: Optional[Mapping[ChannelKey, int]] = None
+    network_latency: int = 32
+    network_words_per_cycle: float = 1.0
+
+
+class Simulator:
+    """Cycle-level simulator of one StencilFlow design.
+
+    Args:
+        analysis: buffering analysis of the program (or a program, which
+            will be analyzed with defaults).
+        config: machine tunables.
+        device_of: optional stencil-name → device-id placement; edges
+            crossing devices become network links (Sec. III-B).
+    """
+
+    def __init__(self, analysis, config: SimulatorConfig = None,
+                 device_of: Optional[Mapping[str, int]] = None):
+        if isinstance(analysis, StencilProgram):
+            analysis = analyze_buffers(analysis)
+        self.analysis: BufferingAnalysis = analysis
+        self.program = analysis.program
+        self.graph: StencilGraph = analysis.graph
+        self.config = config or SimulatorConfig()
+        self.device_of = dict(device_of or {})
+        self.channels: Dict[ChannelKey, object] = {}
+        self.links: List[NetworkLink] = []
+        self.units: List[Unit] = []
+        self.sinks: Dict[str, SinkUnit] = {}
+        self.sources: Dict[str, SourceUnit] = {}
+
+    # -- machine construction ------------------------------------------------
+
+    def _edge_is_remote(self, src: str, dst: str) -> bool:
+        if not self.device_of:
+            return False
+        return (self._device_of_node(src) != self._device_of_node(dst))
+
+    def _device_of_node(self, node_id: str) -> int:
+        node = self.graph.node(node_id)
+        if node.kind == "stencil":
+            return self.device_of.get(node.name, 0)
+        # Memory nodes live with the (first) stencil they feed/drain.
+        if node.kind == "input":
+            consumers = self.graph.successors(node_id)
+            if consumers:
+                return self._device_of_node(consumers[0])
+            return 0
+        producers = self.graph.predecessors(node_id)
+        if producers:
+            return self._device_of_node(producers[0])
+        return 0
+
+    def _capacity(self, key: ChannelKey) -> int:
+        overrides = self.config.channel_capacities
+        if overrides is not None and key in overrides:
+            return overrides[key]
+        buffer = self.analysis.delay_buffers.get(key)
+        size = buffer.size if buffer is not None else 0
+        return size + self.config.min_channel_depth
+
+    def _build(self, inputs: Mapping[str, np.ndarray]):
+        program = self.program
+        graph = self.graph
+        config = self.config
+        for edge in graph.edges:
+            key = (edge.src, edge.dst, edge.data)
+            name = f"{edge.src}->{edge.dst}:{edge.data}"
+            capacity = self._capacity(key)
+            if self._edge_is_remote(edge.src, edge.dst):
+                # Remote streams need credits covering the wire latency
+                # on top of the computed delay buffer.
+                link = NetworkLink(
+                    name, capacity + config.network_latency,
+                    latency=config.network_latency,
+                    words_per_cycle=config.network_words_per_cycle)
+                self.channels[key] = link
+                self.links.append(link)
+            else:
+                self.channels[key] = Channel(name, capacity)
+
+        width = program.vectorization
+        index_names = program.index_names
+        for name, spec in program.inputs.items():
+            node_id = f"input:{name}"
+            if name not in inputs:
+                raise ValidationError(f"missing input array {name!r}")
+            data = np.asarray(inputs[name], dtype=spec.dtype.numpy)
+            expected = spec.shape(program.shape, index_names)
+            if data.shape != expected:
+                raise ValidationError(
+                    f"input {name!r}: expected shape {expected}, "
+                    f"got {data.shape}")
+            full = _broadcast(data, spec.dims, program.shape, index_names)
+            outs = [self.channels[(e.src, e.dst, e.data)]
+                    for e in graph.out_edges(node_id)]
+            source = SourceUnit(name, full, width, outs)
+            self.sources[name] = source
+            self.units.append(source)
+
+        for stencil in program.stencils:
+            node_id = f"stencil:{stencil.name}"
+            ins = {}
+            for e in graph.in_edges(node_id):
+                ins[e.data] = self.channels[(e.src, e.dst, e.data)]
+            outs = [self.channels[(e.src, e.dst, e.data)]
+                    for e in graph.out_edges(node_id)]
+            latency = self.analysis.node_delays[node_id].compute_cycles
+            self.units.append(StencilUnit(
+                program, stencil, ins, outs, latency))
+
+        for out in program.outputs:
+            node_id = f"output:{out}"
+            (edge,) = graph.in_edges(node_id)
+            channel = self.channels[(edge.src, edge.dst, edge.data)]
+            sink = SinkUnit(out, channel, program.shape, width,
+                            program.field_dtype(out).numpy)
+            self.sinks[out] = sink
+            self.units.append(sink)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> SimulationResult:
+        """Simulate to completion. Raises :class:`DeadlockError` if the
+        machine wedges, :class:`SimulationError` on cycle-cap overrun."""
+        self._build(inputs)
+        expected = (self.analysis.pipeline_latency
+                    + self.program.num_cells // self.program.vectorization)
+        max_cycles = self.config.max_cycles
+        if max_cycles is None:
+            max_cycles = 64 * expected + 100_000
+        now = 0
+        idle_streak = 0
+        while not all(u.done for u in self.units):
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(expected ~{expected})")
+            progressed = False
+            for link in self.links:
+                link.step(now)
+            for unit in self.units:
+                if unit.step(now):
+                    progressed = True
+            if progressed:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                in_flight = sum(len(link) for link in self.links)
+                if idle_streak >= self.config.deadlock_window and \
+                        in_flight == 0:
+                    blocked = [(u.name, u.describe_block())
+                               for u in self.units if not u.done]
+                    detail = "; ".join(f"{n}: {r}" for n, r in blocked)
+                    raise DeadlockError(
+                        f"deadlock at cycle {now}: {detail}",
+                        cycle=now,
+                        blocked_units=tuple(n for n, _ in blocked))
+            now += 1
+
+        outputs = {name: sink.data for name, sink in self.sinks.items()}
+        stalls = {u.name: getattr(u, "stall_cycles", 0) for u in self.units}
+        steady = {u.name: u.stall_after_init for u in self.units
+                  if isinstance(u, StencilUnit)}
+        occupancy = {c.name: c.max_occupancy
+                     for c in self.channels.values()}
+        return SimulationResult(
+            outputs=outputs,
+            cycles=now,
+            expected_cycles=expected,
+            stall_cycles=stalls,
+            steady_stall_cycles=steady,
+            channel_occupancy=occupancy,
+            output_continuous={name: sink.streamed_continuously
+                               for name, sink in self.sinks.items()},
+            stencil_continuous={u.name: u.streamed_continuously
+                                for u in self.units
+                                if isinstance(u, StencilUnit)},
+        )
+
+
+def simulate(program: StencilProgram,
+             inputs: Mapping[str, np.ndarray],
+             config: SimulatorConfig = None,
+             device_of: Optional[Mapping[str, int]] = None
+             ) -> SimulationResult:
+    """Analyze and simulate ``program`` over concrete inputs."""
+    device_map = dict(device_of or {})
+    edge_latency = None
+    if device_map:
+        cfg = config or SimulatorConfig()
+        graph = StencilGraph(program)
+        edge_latency = {}
+        for edge in graph.edges:
+            src_dev = _node_device(graph, edge.src, device_map)
+            dst_dev = _node_device(graph, edge.dst, device_map)
+            if src_dev != dst_dev:
+                edge_latency[(edge.src, edge.dst, edge.data)] = \
+                    cfg.network_latency
+    analysis = analyze_buffers(program, edge_latency=edge_latency)
+    simulator = Simulator(analysis, config, device_of=device_map)
+    return simulator.run(inputs)
+
+
+def _node_device(graph: StencilGraph, node_id: str,
+                 device_of: Mapping[str, int]) -> int:
+    node = graph.node(node_id)
+    if node.kind == "stencil":
+        return device_of.get(node.name, 0)
+    if node.kind == "input":
+        consumers = graph.successors(node_id)
+        if consumers:
+            return _node_device(graph, consumers[0], device_of)
+        return 0
+    producers = graph.predecessors(node_id)
+    if producers:
+        return _node_device(graph, producers[0], device_of)
+    return 0
+
+
+def _broadcast(array: np.ndarray, dims, domain, index_names) -> np.ndarray:
+    shape = [1] * len(domain)
+    for axis, name in enumerate(index_names):
+        if name in dims:
+            shape[axis] = domain[axis]
+    return np.broadcast_to(array.reshape(shape), tuple(domain))

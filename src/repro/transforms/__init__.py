@@ -1,0 +1,27 @@
+"""Program and SDFG transformations (Sec. V)."""
+
+from .canonicalize import canonicalize, extract_program, fold_program
+from .map_fission import can_fission, fission
+from .nest_dim import nest_dim
+from .shift import shift_expr, substitute_field
+from .stencil_fusion import (
+    aggressive_fusion,
+    can_fuse,
+    fuse,
+    fusion_candidates,
+)
+
+__all__ = [
+    "aggressive_fusion",
+    "can_fission",
+    "can_fuse",
+    "canonicalize",
+    "extract_program",
+    "fission",
+    "fold_program",
+    "fuse",
+    "fusion_candidates",
+    "nest_dim",
+    "shift_expr",
+    "substitute_field",
+]

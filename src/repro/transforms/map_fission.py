@@ -1,0 +1,121 @@
+"""MapFission — split one parallel scope into several (Sec. V-A).
+
+The general-purpose transformation of Fig. 10 (right): a subgraph
+computing a compound expression is split into multiple parallel scopes
+with temporary storage between them. At the stencil-program level this
+outlines the operands of a stencil's top-level operation into stencils
+of their own — the inverse of :func:`repro.transforms.stencil_fusion.fuse`
+— which the extraction pipeline uses to break compound statements into
+the unit stencils StencilFlow analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from ..core.boundary import BoundaryConditions
+from ..core.program import StencilDefinition, StencilProgram
+from ..errors import TransformationError
+from ..expr import analysis as expr_analysis
+from ..expr.ast_nodes import (
+    BinaryOp,
+    Expr,
+    FieldAccess,
+    Literal,
+    unparse,
+)
+
+
+def can_fission(program: StencilProgram, name: str) -> Tuple[bool, str]:
+    """A stencil can be fissioned when its top level is a binary
+    operation with at least one compound operand."""
+    try:
+        stencil = program.stencil(name)
+    except Exception:
+        return False, f"no stencil {name!r}"
+    if not isinstance(stencil.ast, BinaryOp):
+        return False, "top level is not a binary operation"
+    if stencil.ast.is_comparison or stencil.ast.is_logical:
+        return False, "cannot outline boolean-typed operands"
+    compound = [side for side in (stencil.ast.left, stencil.ast.right)
+                if side.children()]
+    if not compound:
+        return False, "both operands are leaves"
+    return True, ""
+
+
+def fission(program: StencilProgram, name: str) -> StencilProgram:
+    """Split ``name``'s top-level operation into separate stencils.
+
+    ``s = L op R`` becomes ``s__l = L``, ``s__r = R``, and
+    ``s = s__l[center] op s__r[center]`` (leaf operands stay inline).
+    The new stencils appear immediately before ``s`` in definition
+    order, preserving topological validity.
+    """
+    ok, reason = can_fission(program, name)
+    if not ok:
+        raise TransformationError(f"cannot fission {name!r}: {reason}")
+    stencil = program.stencil(name)
+    top: BinaryOp = stencil.ast
+    index_names = program.index_names
+    center = tuple(0 for _ in index_names)
+
+    new_defs: List[StencilDefinition] = []
+
+    def outline(side: Expr, suffix: str) -> Expr:
+        if not side.children():
+            return side
+        part_name = f"{name}__{suffix}"
+        if part_name in set(program.stencil_names) | set(program.inputs):
+            raise TransformationError(
+                f"name collision outlining {part_name!r}")
+        boundary = _restrict_boundary(stencil.boundary, side)
+        new_defs.append(StencilDefinition(
+            name=part_name,
+            code=unparse(side),
+            ast=side,
+            boundary=boundary,
+        ))
+        return FieldAccess(part_name, center, index_names)
+
+    left = outline(top.left, "l")
+    right = outline(top.right, "r")
+    combined_ast = BinaryOp(top.op, left, right)
+    combined = StencilDefinition(
+        name=name,
+        code=unparse(combined_ast),
+        ast=combined_ast,
+        boundary=_combiner_boundary(stencil.boundary, combined_ast),
+    )
+
+    stencils: List[StencilDefinition] = []
+    for existing in program.stencils:
+        if existing.name == name:
+            stencils.extend(new_defs)
+            stencils.append(combined)
+        else:
+            stencils.append(existing)
+    return replace(program, stencils=tuple(stencils))
+
+
+def _restrict_boundary(boundary: BoundaryConditions,
+                       side: Expr) -> BoundaryConditions:
+    if boundary.shrink:
+        return BoundaryConditions(shrink=True)
+    accessed = expr_analysis.accessed_fields(side)
+    per_input = {f: c for f, c in boundary.per_input.items()
+                 if f in accessed}
+    return BoundaryConditions(shrink=False, per_input=per_input)
+
+
+def _combiner_boundary(boundary: BoundaryConditions,
+                       combined: Expr) -> BoundaryConditions:
+    if boundary.shrink:
+        return BoundaryConditions(shrink=True)
+    accessed = expr_analysis.accessed_fields(combined)
+    per_input = {f: c for f, c in boundary.per_input.items()
+                 if f in accessed}
+    # The combiner reads the outlined parts at the center only, so no
+    # boundary handling is needed for them.
+    return BoundaryConditions(shrink=False, per_input=per_input)

@@ -1,0 +1,120 @@
+"""NestDim — subsume an outer parametric dimension into the stencils.
+
+The domain-specific transformation of Sec. V-A (Fig. 10, left): a
+program of parametrically-parallel lower-dimensional stencils (e.g. a
+``kmap[k=0:K]`` scope over 2D stencils, Fig. 17a) is rewritten into one
+program of higher-dimensional stencils. Together with MapFission this is
+the tool used to *extract* stencil programs from external SDFGs
+(Sec. IX uses both to obtain horizontal diffusion from MeteoSwiss'
+production graph).
+
+Because iteration indices are canonically named outermost-first
+(``i, j, k``), nesting a new outermost dimension renames the existing
+indices one position inward: a 2D program over ``(i, j)`` becomes a 3D
+program over ``(i, j, k)`` with old ``i -> j`` and ``j -> k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ..core.fields import INDEX_NAMES, FieldSpec
+from ..core.program import StencilDefinition, StencilProgram
+from ..errors import TransformationError
+from ..expr.ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+    unparse,
+)
+
+
+def nest_dim(program: StencilProgram, extent: int,
+             broadcast_inputs: Sequence[str] = ()) -> StencilProgram:
+    """Add a new outermost dimension of size ``extent``.
+
+    Args:
+        program: a 1D or 2D stencil program.
+        extent: size of the new outer dimension.
+        broadcast_inputs: inputs that stay constant along the new
+            dimension (e.g. per-column coefficients) and keep their
+            shape; all other inputs gain the outer dimension.
+    """
+    if program.rank >= 3:
+        raise TransformationError(
+            "cannot nest: program is already 3-dimensional")
+    if extent <= 0:
+        raise TransformationError(f"invalid extent {extent}")
+    broadcast: Set[str] = set(broadcast_inputs)
+    unknown = broadcast - set(program.inputs)
+    if unknown:
+        raise TransformationError(
+            f"broadcast inputs not in program: {sorted(unknown)}")
+
+    old_names = program.index_names
+    new_names = INDEX_NAMES[:program.rank + 1]
+    rename = dict(zip(old_names, new_names[1:]))
+    outer = new_names[0]
+
+    inputs: Dict[str, FieldSpec] = {}
+    for name, spec in program.inputs.items():
+        dims = tuple(rename[d] for d in spec.dims)
+        if name not in broadcast:
+            dims = (outer,) + dims
+        inputs[name] = FieldSpec(name, spec.dtype, dims)
+
+    stencils = []
+    for stencil in program.stencils:
+        ast = _renest(stencil.ast, rename, outer, broadcast)
+        stencils.append(StencilDefinition(
+            name=stencil.name,
+            code=unparse(ast),
+            ast=ast,
+            boundary=stencil.boundary,
+        ))
+
+    return StencilProgram(
+        inputs=inputs,
+        outputs=program.outputs,
+        shape=(extent,) + program.shape,
+        stencils=tuple(stencils),
+        vectorization=program.vectorization,
+        name=program.name,
+    )
+
+
+def _renest(node: Expr, rename: Dict[str, str], outer: str,
+            broadcast: Set[str]) -> Expr:
+    if isinstance(node, Literal):
+        return node
+    if isinstance(node, IndexVar):
+        return IndexVar(rename[node.name])
+    if isinstance(node, FieldAccess):
+        dims = tuple(rename[d] for d in node.dims)
+        offsets = node.offsets
+        if node.field not in broadcast:
+            dims = (outer,) + dims
+            offsets = (0,) + offsets
+        return FieldAccess(node.field, offsets, dims)
+    if isinstance(node, BinaryOp):
+        return BinaryOp(node.op,
+                        _renest(node.left, rename, outer, broadcast),
+                        _renest(node.right, rename, outer, broadcast))
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op,
+                       _renest(node.operand, rename, outer, broadcast))
+    if isinstance(node, Ternary):
+        return Ternary(_renest(node.cond, rename, outer, broadcast),
+                       _renest(node.then, rename, outer, broadcast),
+                       _renest(node.orelse, rename, outer, broadcast))
+    if isinstance(node, Call):
+        return Call(node.func,
+                    tuple(_renest(a, rename, outer, broadcast)
+                          for a in node.args))
+    raise TypeError(f"unknown AST node {type(node).__name__}")

@@ -1,0 +1,93 @@
+"""Shifting expressions in index space — the substitution engine that
+stencil fusion builds on.
+
+``shift_expr(ast, {"i": 1})`` rewrites every field access so the whole
+expression is evaluated one point later along ``i``: ``a[i-1]`` becomes
+``a[i]``. Fields that do not span a shifted dimension are unaffected
+along it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..expr.ast_nodes import (
+    BinaryOp,
+    Call,
+    Expr,
+    FieldAccess,
+    IndexVar,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+
+
+def shift_expr(node: Expr, delta: Mapping[str, int]) -> Expr:
+    """Return ``node`` with all field accesses shifted by ``delta``.
+
+    Args:
+        node: expression AST.
+        delta: offset to add per index dimension (missing dims shift 0).
+
+    >>> from ..expr.parser import parse
+    >>> str(shift_expr(parse("a[i-1,j,k] + b[i,k]"), {"i": 1}))
+    '(a[i, j, k] + b[i+1, k])'
+    """
+    if isinstance(node, (Literal, IndexVar)):
+        return node
+    if isinstance(node, FieldAccess):
+        offsets = tuple(off + delta.get(dim, 0)
+                        for off, dim in zip(node.offsets, node.dims))
+        return FieldAccess(node.field, offsets, node.dims)
+    if isinstance(node, BinaryOp):
+        return BinaryOp(node.op, shift_expr(node.left, delta),
+                        shift_expr(node.right, delta))
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op, shift_expr(node.operand, delta))
+    if isinstance(node, Ternary):
+        return Ternary(shift_expr(node.cond, delta),
+                       shift_expr(node.then, delta),
+                       shift_expr(node.orelse, delta))
+    if isinstance(node, Call):
+        return Call(node.func,
+                    tuple(shift_expr(a, delta) for a in node.args))
+    raise TypeError(f"unknown AST node {type(node).__name__}")
+
+
+def substitute_field(node: Expr, field: str,
+                     replacement: Expr,
+                     field_dims: Mapping[str, tuple]) -> Expr:
+    """Replace every access of ``field`` with ``replacement`` shifted by
+    the access's offset.
+
+    This inlines a producer stencil's expression into its consumer:
+    the consumer's read ``p[i-1, j, k]`` becomes the producer's whole
+    expression evaluated at ``i-1``.
+    """
+    if isinstance(node, (Literal, IndexVar)):
+        return node
+    if isinstance(node, FieldAccess):
+        if node.field != field:
+            return node
+        delta = dict(zip(node.dims, node.offsets))
+        return shift_expr(replacement, delta)
+    if isinstance(node, BinaryOp):
+        return BinaryOp(
+            node.op,
+            substitute_field(node.left, field, replacement, field_dims),
+            substitute_field(node.right, field, replacement, field_dims))
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op, substitute_field(node.operand, field,
+                                                 replacement, field_dims))
+    if isinstance(node, Ternary):
+        return Ternary(
+            substitute_field(node.cond, field, replacement, field_dims),
+            substitute_field(node.then, field, replacement, field_dims),
+            substitute_field(node.orelse, field, replacement, field_dims))
+    if isinstance(node, Call):
+        return Call(node.func,
+                    tuple(substitute_field(a, field, replacement,
+                                           field_dims)
+                          for a in node.args))
+    raise TypeError(f"unknown AST node {type(node).__name__}")

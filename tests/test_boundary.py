@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.boundary."""
+
+import pytest
+
+from repro.core import (
+    BoundaryConditions,
+    ConstantBoundary,
+    CopyBoundary,
+)
+from repro.errors import DefinitionError
+
+
+class TestParsing:
+    def test_shrink_string(self):
+        bc = BoundaryConditions.from_json("shrink")
+        assert bc.shrink
+
+    def test_shrink_default(self):
+        bc = BoundaryConditions.from_json(None)
+        assert bc.shrink
+
+    def test_per_input(self):
+        bc = BoundaryConditions.from_json({
+            "a0": {"type": "constant", "value": 1},
+            "a1": {"type": "copy"},
+        })
+        assert not bc.shrink
+        assert bc.for_input("a0") == ConstantBoundary(1)
+        assert bc.for_input("a1") == CopyBoundary()
+
+    def test_constant_requires_value(self):
+        with pytest.raises(DefinitionError, match="requires 'value'"):
+            BoundaryConditions.from_json({"a": {"type": "constant"}})
+
+    def test_unknown_type(self):
+        with pytest.raises(DefinitionError, match="unknown boundary"):
+            BoundaryConditions.from_json({"a": {"type": "mirror"}})
+
+    def test_invalid_spec(self):
+        with pytest.raises(DefinitionError):
+            BoundaryConditions.from_json(42)
+
+
+class TestSemantics:
+    def test_shrink_excludes_per_input(self):
+        with pytest.raises(DefinitionError, match="cannot be combined"):
+            BoundaryConditions(shrink=True,
+                               per_input={"a": CopyBoundary()})
+
+    def test_for_input_on_shrink_raises(self):
+        bc = BoundaryConditions(shrink=True)
+        with pytest.raises(DefinitionError, match="shrink"):
+            bc.for_input("a")
+
+    def test_missing_input_raises(self):
+        bc = BoundaryConditions(per_input={"a": CopyBoundary()})
+        with pytest.raises(DefinitionError, match="no boundary"):
+            bc.for_input("b")
+
+    def test_has_input(self):
+        bc = BoundaryConditions(per_input={"a": CopyBoundary()})
+        assert bc.has_input("a")
+        assert not bc.has_input("b")
+
+
+class TestRoundtripAndMatch:
+    def test_json_roundtrip_shrink(self):
+        bc = BoundaryConditions(shrink=True)
+        assert BoundaryConditions.from_json(bc.to_json()) == bc
+
+    def test_json_roundtrip_per_input(self):
+        bc = BoundaryConditions(per_input={
+            "a": ConstantBoundary(2.5), "b": CopyBoundary()})
+        assert BoundaryConditions.from_json(bc.to_json()) == bc
+
+    def test_matches_same(self):
+        a = BoundaryConditions(per_input={"x": ConstantBoundary(0)})
+        b = BoundaryConditions(per_input={"x": ConstantBoundary(0),
+                                          "y": CopyBoundary()})
+        assert a.matches(b)
+
+    def test_matches_conflicting_value(self):
+        a = BoundaryConditions(per_input={"x": ConstantBoundary(0)})
+        b = BoundaryConditions(per_input={"x": ConstantBoundary(1)})
+        assert not a.matches(b)
+
+    def test_matches_shrink_vs_per_input(self):
+        a = BoundaryConditions(shrink=True)
+        b = BoundaryConditions(per_input={"x": CopyBoundary()})
+        assert not a.matches(b)

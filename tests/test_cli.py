@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from util import lst1_program, lst1_spec
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.json"
+    path.write_text(json.dumps(lst1_spec(shape=(8, 8, 8))))
+    return path
+
+
+class TestCLI:
+    def test_info(self, program_file, capsys):
+        assert main(["info", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "5 stencils" in out
+        assert "arithmetic intensity" in out
+
+    def test_analyze(self, program_file, capsys):
+        assert main(["analyze", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline latency" in out
+        assert "deadlock-free" in out
+        assert "b3.b1" in out
+
+    def test_codegen(self, program_file, tmp_path, capsys):
+        out_dir = tmp_path / "gen"
+        assert main(["codegen", str(program_file), "-o",
+                     str(out_dir)]) == 0
+        assert (out_dir / "lst1_device0.cl").exists()
+        assert (out_dir / "host.cpp").exists()
+        assert (out_dir / "reference.c").exists()
+
+    def test_run_validates(self, program_file, capsys):
+        assert main(["run", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "validated against reference: True" in out
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_file(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(FileNotFoundError):
+            main(["info", str(missing)])

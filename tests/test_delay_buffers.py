@@ -1,0 +1,148 @@
+"""Unit tests for delay-buffer analysis and deadlock certification."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_buffers,
+    certify,
+    certify_analysis,
+    required_capacities,
+)
+from repro.expr import LatencyModel
+from util import chain_program, diamond_program, lst1_program
+
+
+class TestNodeDelays:
+    def test_memory_nodes_zero_delay(self):
+        analysis = analyze_buffers(lst1_program())
+        for node_id in ("input:a0", "input:a2", "output:b4"):
+            delay = analysis.node_delays[node_id]
+            assert delay.init_cycles == 0
+            assert delay.compute_cycles == 0
+
+    def test_accumulation_along_chain(self):
+        analysis = analyze_buffers(chain_program(3))
+        d0 = analysis.node_delays["stencil:s0"]
+        d1 = analysis.node_delays["stencil:s1"]
+        d2 = analysis.node_delays["stencil:s2"]
+        assert d1.accumulated == d0.accumulated + d1.own
+        assert d2.accumulated == d1.accumulated + d2.own
+
+    def test_init_dominates_for_wide_stencils(self):
+        analysis = analyze_buffers(lst1_program(shape=(32, 32, 32)))
+        b3 = analysis.node_delays["stencil:b3"]
+        # b3 reads b1 at i+1: it must consume one full 2D slice ahead of
+        # its first output. (The internal *buffer* spans two slices,
+        # 2*32*32+1 elements — memory footprint vs. timing.)
+        assert b3.init_cycles == 32 * 32
+        assert analysis.internal["b3"].init_elements == 2 * 32 * 32 + 1
+
+    def test_pipeline_latency_is_sink_accumulation(self):
+        analysis = analyze_buffers(lst1_program())
+        assert analysis.pipeline_latency == \
+            analysis.node_delays["output:b4"].accumulated
+
+
+class TestDelayBuffers:
+    def test_each_node_has_zero_edge(self):
+        analysis = analyze_buffers(lst1_program())
+        by_dst = {}
+        for (src, dst, data), buf in analysis.delay_buffers.items():
+            by_dst.setdefault(dst, []).append(buf.size)
+        for dst, sizes in by_dst.items():
+            assert min(sizes) == 0, f"{dst} has no zero-delay edge"
+
+    def test_diamond_fast_edge_buffered(self):
+        program = diamond_program(long_branch=2)
+        analysis = analyze_buffers(program)
+        fast = analysis.buffer_for_edge("stencil:s0", "stencil:join", "s0")
+        slow = analysis.buffer_for_edge("stencil:slow1", "stencil:join",
+                                        "slow1")
+        assert slow.size == 0
+        # The fast edge must absorb the slow branch's init + compute.
+        slow_path = (analysis.node_delays["stencil:slow0"].own
+                     + analysis.node_delays["stencil:slow1"].own)
+        assert fast.size == slow_path
+
+    def test_chain_needs_no_delay_buffers(self):
+        analysis = analyze_buffers(chain_program(4))
+        assert analysis.total_delay_buffer_words() == 0
+
+    def test_symmetric_branches_balanced(self):
+        # b1 and b2 in Lst.1 are symmetric consumers of b0, so the b0
+        # edges carry no buffering; only the b2->b4 edge does (b3's init).
+        analysis = analyze_buffers(lst1_program())
+        assert analysis.buffer_for_edge(
+            "stencil:b0", "stencil:b1", "b0").size == 0
+        assert analysis.buffer_for_edge(
+            "stencil:b0", "stencil:b2", "b0").size == 0
+        b2_to_b4 = analysis.buffer_for_edge("stencil:b2", "stencil:b4",
+                                            "b2")
+        b3_delay = analysis.node_delays["stencil:b3"].own
+        # b1 and b2 have identical compute latency, so the imbalance is
+        # exactly b3's own delay.
+        assert b2_to_b4.size == b3_delay
+
+    def test_vectorization_shrinks_delays(self):
+        scalar = analyze_buffers(lst1_program(shape=(32, 32, 32)))
+        vector = analyze_buffers(
+            lst1_program(shape=(32, 32, 32)).with_vectorization(8))
+        s = scalar.buffer_for_edge("stencil:b2", "stencil:b4", "b2").size
+        v = vector.buffer_for_edge("stencil:b2", "stencil:b4", "b2").size
+        assert v < s
+        # The init component scales ~1/W (compute latency does not).
+        assert v <= s // 2
+
+    def test_edge_latency_affects_buffers(self):
+        program = diamond_program(long_branch=1)
+        key = ("stencil:s0", "stencil:slow0", "s0")
+        plain = analyze_buffers(program)
+        with_net = analyze_buffers(program, edge_latency={key: 100})
+        fast_plain = plain.buffer_for_edge("stencil:s0", "stencil:join",
+                                           "s0")
+        fast_net = with_net.buffer_for_edge("stencil:s0", "stencil:join",
+                                            "s0")
+        assert fast_net.size == fast_plain.size + 100
+
+    def test_custom_latency_model(self):
+        heavy = LatencyModel({"+": 100, "*": 100}, default=100)
+        analysis = analyze_buffers(lst1_program(), latency_model=heavy)
+        assert analysis.node_delays["stencil:b0"].compute_cycles >= 100
+
+
+class TestMemoryAccounting:
+    def test_fast_memory_positive(self):
+        analysis = analyze_buffers(lst1_program(shape=(32, 32, 32)))
+        assert analysis.fast_memory_bytes() > 0
+
+    def test_fast_memory_includes_internal(self):
+        analysis = analyze_buffers(lst1_program(shape=(32, 32, 32)))
+        internal = analysis.internal["b3"].buffers["b1"]
+        assert analysis.fast_memory_bytes() >= internal.size * 4
+
+
+class TestCertification:
+    def test_computed_capacities_certify(self):
+        certificate = certify_analysis(analyze_buffers(lst1_program()))
+        assert certificate.safe
+
+    def test_underprovision_flagged(self):
+        analysis = analyze_buffers(diamond_program(long_branch=2))
+        required = required_capacities(analysis)
+        starved = {k: 0 for k in required}
+        certificate = certify(analysis, starved)
+        assert not certificate.safe
+        assert any(v.required > 0 for v in certificate.violations)
+        assert "under-provisioned" in certificate.explain()
+
+    def test_multitree_always_safe(self):
+        analysis = analyze_buffers(chain_program(3))
+        certificate = certify(analysis, {})
+        assert certificate.safe
+        assert certificate.is_multitree
+
+    def test_exact_capacities_safe(self):
+        analysis = analyze_buffers(diamond_program(long_branch=2))
+        certificate = certify(analysis, required_capacities(analysis))
+        assert certificate.safe
+        assert "deadlock-free" in certificate.explain()

@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.core import dtypes
+from repro.errors import DefinitionError
+
+
+class TestLookup:
+    def test_basic_names(self):
+        assert dtypes.dtype("float32") is dtypes.float32
+        assert dtypes.dtype("int64") is dtypes.int64
+
+    def test_aliases(self):
+        assert dtypes.dtype("float") is dtypes.float32
+        assert dtypes.dtype("double") is dtypes.float64
+        assert dtypes.dtype("half") is dtypes.float16
+        assert dtypes.dtype("int") is dtypes.int32
+
+    def test_identity_passthrough(self):
+        assert dtypes.dtype(dtypes.float32) is dtypes.float32
+
+    def test_unknown_raises(self):
+        with pytest.raises(DefinitionError, match="unknown data type"):
+            dtypes.dtype("float128")
+
+    def test_all_dtypes_registered(self):
+        names = {t.name for t in dtypes.all_dtypes()}
+        assert {"float32", "float64", "int32", "uint8", "bool"} <= names
+
+
+class TestProperties:
+    def test_bytes_and_bits(self):
+        assert dtypes.float32.bytes == 4
+        assert dtypes.float32.bits == 32
+        assert dtypes.float64.bytes == 8
+        assert dtypes.int16.bits == 16
+
+    def test_numpy_equivalent(self):
+        assert dtypes.float32.numpy == np.dtype(np.float32)
+        assert dtypes.int64.numpy == np.dtype(np.int64)
+
+    def test_kind_flags(self):
+        assert dtypes.float32.is_float
+        assert not dtypes.float32.is_integer
+        assert dtypes.int32.is_integer
+        assert not dtypes.int32.is_float
+        assert dtypes.uint16.is_integer
+
+    def test_str(self):
+        assert str(dtypes.float32) == "float32"
+
+
+class TestCTypes:
+    def test_scalar_ctypes(self):
+        assert dtypes.float32.ctype == "float"
+        assert dtypes.float64.ctype == "double"
+        assert dtypes.int32.ctype == "int"
+        assert dtypes.uint8.ctype == "uchar"
+
+    def test_vector_ctypes(self):
+        assert dtypes.float32.vector_ctype(1) == "float"
+        assert dtypes.float32.vector_ctype(4) == "float4"
+        assert dtypes.float32.vector_ctype(16) == "float16"
+
+    def test_invalid_vector_width(self):
+        with pytest.raises(DefinitionError, match="vector width"):
+            dtypes.float32.vector_ctype(3)
+
+
+class TestPromotion:
+    def test_same_type(self):
+        assert dtypes.result_type(dtypes.float32, dtypes.float32) \
+            is dtypes.float32
+
+    def test_widening(self):
+        assert dtypes.result_type(dtypes.float32, dtypes.float64) \
+            is dtypes.float64
+        assert dtypes.result_type(dtypes.int16, dtypes.int32) \
+            is dtypes.int32

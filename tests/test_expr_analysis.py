@@ -1,0 +1,186 @@
+"""Unit tests for expression analyses: accesses, census, latency, folding."""
+
+import pytest
+
+from repro.expr import (
+    LatencyModel,
+    Literal,
+    accessed_fields,
+    census,
+    count_nodes,
+    critical_path,
+    depth,
+    field_access_dims,
+    field_accesses,
+    fold,
+    index_vars,
+    parse,
+)
+
+
+class TestAccessExtraction:
+    def test_distinct_offsets_sorted(self):
+        node = parse("a[i+1,j,k] + a[i-1,j,k] + a[i-1,j,k]")
+        assert field_accesses(node) == {"a": [(-1, 0, 0), (1, 0, 0)]}
+
+    def test_multiple_fields(self):
+        node = parse("a[i,j,k] * b[i,k] + c")
+        accesses = field_accesses(node)
+        assert set(accesses) == {"a", "b", "c"}
+        assert accesses["c"] == [()]
+
+    def test_accessed_fields(self):
+        node = parse("x[i] + y[i] * x[i-1]")
+        assert accessed_fields(node) == {"x", "y"}
+
+    def test_access_dims(self):
+        node = parse("a[i,j,k] + b[i,k]")
+        dims = field_access_dims(node)
+        assert dims == {"a": ("i", "j", "k"), "b": ("i", "k")}
+
+    def test_inconsistent_dims_rejected(self):
+        node = parse("a[i,j,k] + a[i,k]")
+        with pytest.raises(ValueError, match="inconsistent"):
+            field_access_dims(node)
+
+    def test_index_vars(self):
+        node = parse("a[i,j,k] * k + j")
+        assert index_vars(node) == {"j", "k"}
+
+
+class TestCensus:
+    def test_adds_and_subs(self):
+        c = census(parse("a[i] + b[i] - c[i]"))
+        assert c.adds == 2
+        assert c.multiplies == 0
+
+    def test_multiplies_divides(self):
+        c = census(parse("a[i] * b[i] / c[i]"))
+        assert c.multiplies == 1
+        assert c.divides == 1
+
+    def test_sqrt_minmax(self):
+        c = census(parse("sqrt(a[i]) + min(b[i], 0) + max(b[i], 1)"))
+        assert c.sqrts == 1
+        assert c.mins == 1
+        assert c.maxs == 1
+        assert c.adds == 2
+
+    def test_negation_counts_as_add(self):
+        assert census(parse("-a[i]")).adds == 1
+
+    def test_data_dependent_branch(self):
+        c = census(parse("a[i] > 0 ? a[i] : 1"))
+        assert c.branches == 1
+        assert c.data_dependent_branches == 1
+        assert c.comparisons == 1
+
+    def test_constant_branch_not_data_dependent(self):
+        c = census(parse("1 > 0 ? a[i] : 2"))
+        assert c.branches == 1
+        assert c.data_dependent_branches == 0
+
+    def test_flops_property(self):
+        c = census(parse("a[i]*b[i] + sqrt(c[i])"))
+        assert c.flops == 3  # mul, add, sqrt
+
+    def test_census_addition(self):
+        a = census(parse("a[i] + b[i]"))
+        b = census(parse("a[i] * b[i]"))
+        combined = a + b
+        assert combined.adds == 1
+        assert combined.multiplies == 1
+
+    def test_census_scaled(self):
+        c = census(parse("a[i] + b[i]")).scaled(10)
+        assert c.adds == 10
+
+
+class TestLatency:
+    MODEL = LatencyModel({"+": 4, "*": 4, "/": 16, "select": 2,
+                          "sqrt": 16, ">": 2}, default=0)
+
+    def test_leaf_zero(self):
+        assert critical_path(parse("a[i]"), self.MODEL) == 0
+        assert critical_path(parse("2.5"), self.MODEL) == 0
+
+    def test_chain(self):
+        assert critical_path(parse("a[i] + b[i] + c[i]"), self.MODEL) == 8
+
+    def test_balanced_tree_shorter_than_chain(self):
+        chain = critical_path(parse("a[i] + b[i] + c[i] + d[i]"),
+                              self.MODEL)
+        tree = critical_path(parse("(a[i] + b[i]) + (c[i] + d[i])"),
+                             self.MODEL)
+        assert tree < chain
+
+    def test_ternary_max_of_branches(self):
+        node = parse("a[i] > 0 ? a[i]/b[i] : a[i]+b[i]")
+        # max(cmp 2, div 16, add 4) + select 2
+        assert critical_path(node, self.MODEL) == 18
+
+    def test_call(self):
+        assert critical_path(parse("sqrt(a[i]+b[i])"), self.MODEL) == 20
+
+    def test_overrides(self):
+        model = self.MODEL.with_overrides(**{"+": 1})
+        assert critical_path(parse("a[i] + b[i]"), model) == 1
+
+    def test_default_model_small(self):
+        # The paper notes per-stencil compute latencies are typically
+        # below 100 cycles even with conservative defaults.
+        node = parse("0.25*(a[i-1,j,k]+2.0*a[i,j,k]+a[i+1,j,k])")
+        assert 0 < critical_path(node) < 100
+
+
+class TestFolding:
+    def test_constant_arithmetic(self):
+        assert fold(parse("2 * 3 + 1")) == Literal(7)
+
+    def test_identity_add_zero(self):
+        assert str(fold(parse("a[i] + 0"))) == "a[i]"
+
+    def test_identity_mul_one(self):
+        assert str(fold(parse("1 * a[i]"))) == "a[i]"
+
+    def test_mul_zero(self):
+        assert fold(parse("a[i] * 0")) == Literal(0)
+
+    def test_div_one(self):
+        assert str(fold(parse("a[i] / 1"))) == "a[i]"
+
+    def test_double_negation(self):
+        assert str(fold(parse("--a[i]"))) == "a[i]"
+
+    def test_constant_ternary(self):
+        assert str(fold(parse("1 > 0 ? a[i] : b[i]"))) == "a[i]"
+        assert str(fold(parse("0 > 1 ? a[i] : b[i]"))) == "b[i]"
+
+    def test_constant_call(self):
+        assert fold(parse("sqrt(4)")) == Literal(2.0)
+
+    def test_preserves_nonconstant(self):
+        node = parse("a[i] + b[i]")
+        assert fold(node) == node
+
+    def test_division_by_zero_not_folded(self):
+        node = fold(parse("a[i] + 1/0"))
+        # 1/0 stays unfolded rather than crashing.
+        assert "1" in str(node)
+
+    def test_nested_fold(self):
+        assert str(fold(parse("(a[i] * (2-1)) + (3-3)"))) == "a[i]"
+
+    def test_idempotent(self):
+        node = fold(parse("0.5 * (a[i] + 0) * 1"))
+        assert fold(node) == node
+
+
+class TestShape:
+    def test_depth(self):
+        assert depth(parse("a[i]")) == 1
+        assert depth(parse("a[i] + b[i]")) == 2
+        assert depth(parse("(a[i] + b[i]) * c[i]")) == 3
+
+    def test_count_nodes(self):
+        assert count_nodes(parse("a[i] + b[i]")) == 3

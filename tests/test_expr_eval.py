@@ -1,0 +1,120 @@
+"""Unit tests for the NumPy evaluator and type inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import dtype, float32, float64, int32
+from repro.errors import StencilFlowError, TypeCheckError
+from repro.expr import evaluate, evaluate_scalar, infer_type, parse
+from repro.expr.ast_nodes import FieldAccess
+
+
+def _resolver(arrays):
+    def resolve(access: FieldAccess):
+        return arrays[(access.field, access.offsets)]
+    return resolve
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 5.0, 6.0])
+        node = parse("x[i] * 2 + y[i]")
+        out = evaluate(node, _resolver({("x", (0,)): a, ("y", (0,)): b}))
+        np.testing.assert_allclose(out, [6.0, 9.0, 12.0])
+
+    def test_ternary_uses_where(self):
+        a = np.array([-1.0, 0.0, 2.0])
+        node = parse("x[i] > 0 ? x[i] : 0")
+        out = evaluate(node, _resolver({("x", (0,)): a}))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_math_functions(self):
+        a = np.array([1.0, 4.0, 9.0])
+        node = parse("sqrt(x[i])")
+        out = evaluate(node, _resolver({("x", (0,)): a}))
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_min_max(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 2.0])
+        arrays = {("x", (0,)): a, ("y", (0,)): b}
+        np.testing.assert_allclose(
+            evaluate(parse("min(x[i], y[i])"), _resolver(arrays)), [1, 2])
+        np.testing.assert_allclose(
+            evaluate(parse("max(x[i], y[i])"), _resolver(arrays)), [3, 5])
+
+    def test_logical_ops(self):
+        a = np.array([1.0, -1.0, 2.0])
+        node = parse("(x[i] > 0 && x[i] < 1.5) ? 1 : 0")
+        out = evaluate(node, _resolver({("x", (0,)): a}))
+        np.testing.assert_allclose(out, [1, 0, 0])
+
+    def test_unary(self):
+        a = np.array([1.0, -2.0])
+        out = evaluate(parse("-x[i]"), _resolver({("x", (0,)): a}))
+        np.testing.assert_allclose(out, [-1.0, 2.0])
+
+    def test_index_grids(self):
+        node = parse("i * 10 + j")
+        grids = {"i": np.array([[0, 0], [1, 1]]),
+                 "j": np.array([[0, 1], [0, 1]])}
+        out = evaluate(node, lambda a: 0, grids)
+        np.testing.assert_array_equal(out, [[0, 1], [10, 11]])
+
+    def test_missing_index_grid(self):
+        with pytest.raises(StencilFlowError, match="no index grid"):
+            evaluate(parse("i + 1"), lambda a: 0, {})
+
+
+class TestEvaluateScalar:
+    def test_closed_expression(self):
+        assert evaluate_scalar(parse("2 * 3 + 1")) == 7
+
+    def test_with_bindings(self):
+        assert evaluate_scalar(parse("i * 2"), {"i": 5}) == 10
+
+    def test_field_read_rejected(self):
+        with pytest.raises(StencilFlowError, match="not closed"):
+            evaluate_scalar(parse("a[i]"))
+
+
+class TestTypeInference:
+    def test_field_plus_literal(self):
+        assert infer_type(parse("a[i] + 1"), {"a": float32}) is float32
+
+    def test_float_literal_weak(self):
+        assert infer_type(parse("0.5 * a[i]"), {"a": float32}) is float32
+
+    def test_widening(self):
+        t = infer_type(parse("a[i] + b[i]"),
+                       {"a": float32, "b": float64})
+        assert t is float64
+
+    def test_comparison_is_bool(self):
+        t = infer_type(parse("a[i] > 0"), {"a": float32})
+        assert t.kind == "bool"
+
+    def test_bool_arithmetic_rejected(self):
+        with pytest.raises(TypeCheckError, match="arithmetic"):
+            infer_type(parse("(a[i] > 0) + 1"), {"a": float32})
+
+    def test_undeclared_field(self):
+        with pytest.raises(TypeCheckError, match="undeclared"):
+            infer_type(parse("zz[i]"), {})
+
+    def test_integer_division_is_float(self):
+        t = infer_type(parse("a[i] / 2"), {"a": int32})
+        assert t.is_float
+
+    def test_ternary_promotes(self):
+        t = infer_type(parse("a[i] > 0 ? b[i] : 1"),
+                       {"a": float32, "b": float64})
+        assert t is float64
+
+    def test_sqrt_of_int_is_float(self):
+        t = infer_type(parse("sqrt(a[i])"), {"a": int32})
+        assert t.is_float
+
+    def test_index_var_is_int(self):
+        assert infer_type(parse("i"), {}) is int32

@@ -1,0 +1,183 @@
+"""Unit tests for the hardware models: platforms, resources, frequency,
+bandwidth."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hardware import (
+    ARRIA10,
+    BandwidthModel,
+    P100,
+    ResourceVector,
+    STRATIX10,
+    V100,
+    XEON_12C,
+    calibration,
+    check_fits,
+    design_frequency_mhz,
+    estimate_resources,
+    frequency_mhz,
+    stencil_unit_resources,
+)
+from repro.programs import chain, horizontal_diffusion
+from util import lst1_program
+
+
+class TestResourceVector:
+    def test_addition(self):
+        a = ResourceVector(1, 2, 3, 4) + ResourceVector(10, 20, 30, 40)
+        assert (a.alm, a.ff, a.m20k, a.dsp) == (11, 22, 33, 44)
+
+    def test_scaled(self):
+        v = ResourceVector(10, 10, 10, 10).scaled(0.5)
+        assert v.alm == 5
+
+    def test_utilization(self):
+        u = ResourceVector(50, 0, 0, 0).utilization(
+            ResourceVector(100, 1, 1, 1))
+        assert u.alm == 0.5
+        assert u.max_fraction == 0.5
+
+    def test_fits_in(self):
+        small = ResourceVector(1, 1, 1, 1)
+        big = ResourceVector(2, 2, 2, 2)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+
+class TestPlatforms:
+    def test_stratix10_specs(self):
+        assert STRATIX10.peak_bandwidth_gbs == 76.8
+        assert STRATIX10.available.dsp == 4468
+        assert STRATIX10.total.m20k == 11721
+
+    def test_neighbor_bandwidth(self):
+        # Two 40 Gbit/s links = 10 GB/s.
+        assert STRATIX10.neighbor_bandwidth_gbs == pytest.approx(10.0)
+
+    def test_network_words_per_cycle(self):
+        # 10 GB/s over 4-byte words at ~300 MHz: ~8 operands/cycle.
+        words = STRATIX10.network_words_per_cycle(4, 300.0)
+        assert words == pytest.approx(8.33, rel=0.01)
+
+    def test_loadstore_roofline(self):
+        ai = 65 / 18
+        assert V100.roofline_gops(ai) == pytest.approx(ai * 900)
+        assert V100.predicted_gops(ai) == pytest.approx(ai * 900 * 0.26)
+
+    def test_arria10_smaller(self):
+        assert ARRIA10.available.dsp < STRATIX10.available.dsp
+
+
+class TestResources:
+    def test_unit_resources_positive(self):
+        program = lst1_program()
+        unit = stencil_unit_resources(program, "b3")
+        assert unit.alm > 0
+        assert unit.m20k >= 1
+        # b3 has one add: one DSP.
+        assert unit.dsp == 1
+
+    def test_vectorization_multiplies_dsp(self):
+        p1 = chain(1, shape=(64, 32, 32))
+        p8 = chain(1, shape=(64, 32, 32), vectorization=8)
+        r1 = stencil_unit_resources(p1, "s0")
+        r8 = stencil_unit_resources(p8, "s0")
+        assert r8.dsp == 8 * r1.dsp
+
+    def test_design_estimate_sums_units(self):
+        program = chain(4, shape=(64, 32, 32))
+        estimate = estimate_resources(program)
+        total_units = sum(u.dsp for u in estimate.per_stencil.values())
+        assert estimate.design.dsp == total_units
+
+    def test_longer_chain_uses_more(self):
+        short = estimate_resources(chain(2, shape=(64, 32, 32)))
+        long = estimate_resources(chain(8, shape=(64, 32, 32)))
+        assert long.design.alm > short.design.alm
+        assert long.design.m20k > short.design.m20k
+
+    def test_hdiff_fits_single_device(self):
+        # Sec. IX-B: hdiff at W=8 uses ~26% ALM, 27% DSP, 20% M20K.
+        estimate = estimate_resources(horizontal_diffusion(
+            vectorization=8))
+        assert estimate.fits
+        util = estimate.utilization
+        assert 0.05 < util.alm < 0.6
+        assert 0.05 < util.dsp < 0.6
+
+    def test_check_fits_raises(self):
+        huge = chain(200, shape=(64, 32, 32), vectorization=8)
+        with pytest.raises(MappingError, match="does not fit"):
+            check_fits(huge)
+
+    def test_summary(self):
+        text = estimate_resources(lst1_program()).summary()
+        assert "ALM" in text and "DSP" in text
+
+
+class TestFrequency:
+    def test_fmax_at_low_utilization(self):
+        assert frequency_mhz(0.05) == STRATIX10.fmax_mhz
+
+    def test_declines_with_pressure(self):
+        assert frequency_mhz(0.9) < frequency_mhz(0.5) < frequency_mhz(0.2)
+
+    def test_floor(self):
+        assert frequency_mhz(5.0) == calibration.FREQ_FLOOR_MHZ
+
+    def test_paper_band(self):
+        # The paper's designs closed between 292 and 317 MHz at the
+        # utilizations of Tab. I (17-82%).
+        for utilization in (0.18, 0.35, 0.55, 0.8):
+            f = frequency_mhz(utilization)
+            assert 280 <= f <= 317
+
+    def test_design_frequency(self):
+        estimate = estimate_resources(chain(4, shape=(64, 32, 32)))
+        assert design_frequency_mhz(estimate) == pytest.approx(
+            frequency_mhz(estimate.utilization.max_fraction))
+
+
+class TestBandwidth:
+    def test_small_requests_served_fully(self):
+        model = BandwidthModel()
+        assert model.efficiency(8, 317.0) > 0.98
+
+    def test_scalar_saturation(self):
+        model = BandwidthModel()
+        assert model.effective_gbs(500, 300.0, vector_width=1) == \
+            pytest.approx(36.4, rel=0.01)
+
+    def test_vector_saturation(self):
+        model = BandwidthModel()
+        assert model.effective_gbs(500, 300.0, vector_width=4) == \
+            pytest.approx(58.3, rel=0.01)
+
+    def test_w8_same_as_w4(self):
+        # The paper: 8-way vectorized programs achieve similar bandwidth.
+        model = BandwidthModel()
+        a = model.effective_gbs(64, 300.0, vector_width=4)
+        b = model.effective_gbs(64, 300.0, vector_width=8)
+        assert a == pytest.approx(b)
+
+    def test_monotone_in_request(self):
+        model = BandwidthModel()
+        served = [model.effective_gbs(r, 300.0) for r in range(1, 80, 4)]
+        assert all(b >= a - 1e-9 for a, b in zip(served, served[1:]))
+
+    def test_throughput_factor_bounds(self):
+        model = BandwidthModel()
+        assert model.throughput_factor(4, 300.0) == pytest.approx(1.0,
+                                                                  abs=0.01)
+        assert model.throughput_factor(100, 300.0) < 0.5
+
+    def test_for_platform_scales(self):
+        scaled = BandwidthModel.for_platform(ARRIA10)
+        assert scaled.peak_gbs == ARRIA10.peak_bandwidth_gbs
+        assert scaled.scalar_saturation_gbs < 36.4
+
+    def test_zero_request(self):
+        model = BandwidthModel()
+        assert model.effective_gbs(0, 300.0) == 0.0
+        assert model.efficiency(0, 300.0) == 1.0

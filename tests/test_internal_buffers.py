@@ -1,0 +1,114 @@
+"""Unit tests for internal-buffer analysis (Sec. IV-A)."""
+
+import pytest
+
+from repro.analysis import internal_buffers, program_internal_buffers
+from repro.core import StencilProgram
+from util import lst1_program
+
+
+def _one_stencil(code, shape=(32, 32, 32), vectorization=1,
+                 dims=("i", "j", "k")):
+    program = StencilProgram.from_json({
+        "inputs": {"a": {"dtype": "float32", "dims": list(dims)},
+                   "b": {"dtype": "float32", "dims": list(dims)}},
+        "outputs": ["s"],
+        "shape": list(shape),
+        "vectorization": vectorization,
+        "program": {"s": {"code": code, "boundary_condition": "shrink"}},
+    })
+    return program, program.stencil("s")
+
+
+class TestSizes:
+    def test_paper_row_example(self):
+        # a[0,1,0] and a[0,-1,0] in 32^3: 2I + W = 65 elements.
+        program, stencil = _one_stencil("a[i,j-1,k] + a[i,j+1,k]")
+        buffering = internal_buffers(program, stencil)
+        assert buffering.buffers["a"].size == 2 * 32 + 1
+
+    def test_paper_slice_example(self):
+        # b[0,0,0] and b[1,0,0]: 2D slice, IJ + W.
+        program, stencil = _one_stencil("a[i,j,k] + a[i+1,j,k]")
+        buffering = internal_buffers(program, stencil)
+        assert buffering.buffers["a"].size == 32 * 32 + 1
+
+    def test_vectorized_adds_width(self):
+        program, stencil = _one_stencil("a[i,j-1,k] + a[i,j+1,k]",
+                                        vectorization=4)
+        buffering = internal_buffers(program, stencil)
+        assert buffering.buffers["a"].size == 2 * 32 + 4
+
+    def test_single_access_no_buffer(self):
+        program, stencil = _one_stencil("a[i,j,k] * 2")
+        buffering = internal_buffers(program, stencil)
+        assert buffering.buffers == {}
+        assert buffering.init_elements == 0
+
+    def test_intermediate_accesses_do_not_grow_buffer(self):
+        p1, s1 = _one_stencil("a[i,j-1,k] + a[i,j+1,k]")
+        p2, s2 = _one_stencil("a[i,j-1,k] + a[i,j,k] + a[i,j+1,k]")
+        size1 = internal_buffers(p1, s1).buffers["a"].size
+        size2 = internal_buffers(p2, s2).buffers["a"].size
+        assert size1 == size2
+        # ... but they do add tap points.
+        assert internal_buffers(p2, s2).buffers["a"].num_taps == 3
+
+    def test_taps_relative_to_lowest(self):
+        program, stencil = _one_stencil(
+            "a[i,j-1,k] + a[i,j,k] + a[i,j+1,k]")
+        taps = internal_buffers(program, stencil).buffers["a"].taps
+        assert taps == (0, 32, 64)
+
+    def test_2d_iteration_space(self):
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+            "outputs": ["s"],
+            "shape": [64, 64],
+            "program": {"s": {"code": "a[i-1,j] + a[i+1,j]",
+                              "boundary_condition": "shrink"}},
+        })
+        buffering = internal_buffers(program, program.stencil("s"))
+        assert buffering.buffers["a"].size == 2 * 64 + 1
+
+
+class TestSchedule:
+    def test_init_is_max_buffer(self):
+        program, stencil = _one_stencil(
+            "a[i,j-1,k] + a[i,j+1,k] + b[i-1,j,k] + b[i+1,j,k]")
+        buffering = internal_buffers(program, stencil)
+        size_a = buffering.buffers["a"].size   # 2 rows
+        size_b = buffering.buffers["b"].size   # 2 slices
+        assert size_b > size_a
+        assert buffering.init_elements == size_b
+
+    def test_fill_start_synchronization(self):
+        program, stencil = _one_stencil(
+            "a[i,j-1,k] + a[i,j+1,k] + b[i-1,j,k] + b[i+1,j,k]")
+        buffering = internal_buffers(program, stencil)
+        # The largest buffer starts immediately; the smaller is delayed.
+        assert buffering.fill_start["b"] == 0
+        assert buffering.fill_start["a"] == (buffering.buffers["b"].size
+                                             - buffering.buffers["a"].size)
+
+    def test_init_cycles_rounds_up(self):
+        program, stencil = _one_stencil("a[i,j-1,k] + a[i,j+1,k]",
+                                        vectorization=4)
+        buffering = internal_buffers(program, stencil)
+        # 68 elements / W=4 = 17 words.
+        assert buffering.init_cycles(4) == 17
+
+
+class TestProgramLevel:
+    def test_lst1_buffers(self):
+        program = lst1_program(shape=(32, 32, 32))
+        per_stencil = program_internal_buffers(program)
+        # Only b3 accesses a field at multiple offsets (b1 at i±1).
+        assert per_stencil["b3"].buffers["b1"].size == 2 * 32 * 32 + 1
+        for name in ("b0", "b1", "b2", "b4"):
+            assert per_stencil[name].buffers == {}
+
+    def test_bytes(self):
+        program = lst1_program(shape=(32, 32, 32))
+        buf = program_internal_buffers(program)["b3"].buffers["b1"]
+        assert buf.bytes(4) == buf.size * 4

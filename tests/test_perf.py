@@ -1,0 +1,169 @@
+"""Unit tests for the performance models."""
+
+import pytest
+
+from repro.distributed import partition_fixed
+from repro.hardware import STRATIX10
+from repro.perf import (
+    arithmetic_intensity_ops_per_byte,
+    arithmetic_intensity_ops_per_operand,
+    arithmetic_ops_per_cell,
+    fpga_result,
+    hdiff_comparison_table,
+    loadstore_result,
+    model_multi_device,
+    model_performance,
+    operand_traffic,
+    operands_per_cycle,
+    program_census,
+    required_bandwidth_gbs,
+    roofline_gops,
+    total_ops_per_cell,
+)
+from repro.hardware.platform import V100, XEON_12C
+from repro.programs import chain, horizontal_diffusion
+from util import lst1_program
+
+
+class TestIntensity:
+    def test_census_sums_stencils(self):
+        program = lst1_program()
+        census = program_census(program)
+        # b0..b4: 5 adds/subs total... b0:1, b1:1, b2:1, b3:1, b4:1.
+        assert census.adds == 5
+        assert census.multiplies == 2
+
+    def test_traffic_counts_each_input_once(self):
+        program = lst1_program(shape=(8, 8, 8))
+        traffic = operand_traffic(program)
+        # a0, a1 full 3D + a2 2D; one output.
+        assert traffic.read_operands == 512 + 512 + 64
+        assert traffic.write_operands == 512
+
+    def test_intensity_ratio(self):
+        program = lst1_program(shape=(8, 8, 8))
+        ops = arithmetic_ops_per_cell(program) * 512
+        ai = arithmetic_intensity_ops_per_operand(program)
+        assert ai == pytest.approx(ops / (512 * 3 + 64))
+
+    def test_bytes_conversion(self):
+        program = lst1_program()
+        assert arithmetic_intensity_ops_per_byte(program) == \
+            pytest.approx(arithmetic_intensity_ops_per_operand(program)
+                          / 4)
+
+    def test_operands_per_cycle_scales_with_w(self):
+        p1 = lst1_program(shape=(8, 8, 8))
+        p4 = p1.with_vectorization(4)
+        assert operands_per_cycle(p4) == pytest.approx(
+            4 * operands_per_cycle(p1))
+
+
+class TestRoofline:
+    def test_eq3(self):
+        assert roofline_gops(65 / 18, 58.3) == pytest.approx(210.5,
+                                                             abs=0.1)
+
+    def test_eq4(self):
+        assert required_bandwidth_gbs(917.1, 65 / 18) == pytest.approx(
+            254.0, abs=0.5)
+
+
+class TestPipelineModel:
+    def test_expected_cycles_eq1(self):
+        program = chain(3, shape=(32, 16, 16))
+        report = model_performance(program)
+        assert report.expected_cycles == \
+            report.latency_cycles + 32 * 16 * 16
+
+    def test_gops_positive(self):
+        report = model_performance(chain(3, shape=(32, 16, 16)))
+        assert report.gops > 0
+        assert report.runtime_us > 0
+
+    def test_vectorization_speeds_up(self):
+        base = chain(3, shape=(1024, 32, 32))
+        w4 = chain(3, shape=(1024, 32, 32), vectorization=4)
+        assert model_performance(w4).gops > \
+            2 * model_performance(base).gops
+
+    def test_memory_bound_throttles(self):
+        # hdiff at W=8 requests ~72 operands/cycle: memory bound.
+        report = model_performance(horizontal_diffusion(vectorization=8))
+        assert report.memory_throughput_factor < 1.0
+
+    def test_infinite_bandwidth_removes_throttle(self):
+        report = model_performance(horizontal_diffusion(vectorization=8),
+                                   infinite_bandwidth=True)
+        assert report.memory_throughput_factor == 1.0
+
+    def test_frequency_override(self):
+        report = model_performance(chain(2, shape=(32, 16, 16)),
+                                   frequency_mhz=100.0)
+        assert report.frequency_mhz == 100.0
+
+    def test_latency_fraction_small_for_large_domain(self):
+        report = model_performance(chain(3, shape=(4096, 32, 32)))
+        assert report.latency_fraction < 0.01
+
+
+class TestMultiDevice:
+    def test_single_device_partition_equals_plain(self):
+        program = chain(4, shape=(256, 32, 32))
+        partition = partition_fixed(
+            program, {f"s{n}": 0 for n in range(4)})
+        multi = model_multi_device(program, partition)
+        plain = model_performance(program)
+        assert multi.gops == pytest.approx(plain.gops, rel=0.01)
+
+    def test_two_devices_use_multi_node_clock(self):
+        program = chain(4, shape=(256, 32, 32))
+        partition = partition_fixed(
+            program, {"s0": 0, "s1": 0, "s2": 1, "s3": 1})
+        report = model_multi_device(program, partition)
+        assert report.frequency_mhz == pytest.approx(215.0)
+
+    def test_scaling_roughly_linear(self):
+        counts = {}
+        for devices in (1, 2, 4):
+            n = 16 * devices
+            program = chain(n, shape=(1 << 13, 32, 32))
+            per_device = 16
+            placement = {f"s{i}": i // per_device for i in range(n)}
+            partition = partition_fixed(program, placement)
+            counts[devices] = model_multi_device(program,
+                                                 partition).gops
+        assert counts[4] > 1.8 * counts[2]
+        assert counts[2] > 1.2 * counts[1]
+
+
+class TestComparison:
+    def test_loadstore_row_matches_formula(self):
+        program = horizontal_diffusion(vectorization=8)
+        row = loadstore_result(program, V100)
+        ai = arithmetic_intensity_ops_per_byte(program)
+        assert row.gops == pytest.approx(ai * 900 * 0.26)
+
+    def test_fpga_row_has_roof_fraction(self):
+        program = horizontal_diffusion(vectorization=8)
+        row = fpga_result(program, memory_efficiency=0.69)
+        assert 0.3 < row.roof_fraction < 0.7
+
+    def test_table_has_five_rows(self):
+        table = hdiff_comparison_table(
+            horizontal_diffusion(vectorization=8))
+        assert len(table) == 5
+        names = [row.platform for row in table]
+        assert any("infinite" in n for n in names)
+
+    def test_silicon_efficiency(self):
+        program = horizontal_diffusion(vectorization=8)
+        row = loadstore_result(program, V100)
+        assert row.silicon_efficiency == pytest.approx(
+            row.gops / 815.0)
+
+    def test_xeon_slowest(self):
+        table = hdiff_comparison_table(
+            horizontal_diffusion(vectorization=8))
+        xeon = [r for r in table if "Xeon" in r.platform][0]
+        assert xeon.gops == min(r.gops for r in table)

@@ -1,0 +1,149 @@
+"""Unit tests for StencilProgram definition, validation and JSON I/O."""
+
+import pytest
+
+from repro.core import StencilProgram
+from repro.errors import DefinitionError
+from util import lst1_program, lst1_spec
+
+
+class TestConstruction:
+    def test_lst1_parses(self):
+        program = lst1_program()
+        assert program.stencil_names == ("b0", "b1", "b2", "b3", "b4")
+        assert program.rank == 3
+        assert program.num_cells == 512
+
+    def test_index_names_by_rank(self):
+        program = lst1_program()
+        assert program.index_names == ("i", "j", "k")
+
+    def test_2d_program(self):
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+            "outputs": ["s"],
+            "shape": [16, 16],
+            "program": {"s": {"code": "a[i,j-1] + a[i,j+1]",
+                              "boundary_condition": "shrink"}},
+        })
+        assert program.rank == 2
+        assert program.index_names == ("i", "j")
+
+    def test_string_code_shorthand(self):
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float32", "dims": ["i"]}},
+            "outputs": ["s"],
+            "shape": [16],
+            "program": {"s": "a[i] + 1"},
+        })
+        assert program.stencil("s").boundary.shrink
+
+    def test_consumers_of(self):
+        program = lst1_program()
+        assert set(program.consumers_of("b0")) == {"b1", "b2"}
+        assert program.consumers_of("b4") == ()
+
+    def test_field_dims(self):
+        program = lst1_program()
+        assert program.field_dims("a2") == ("i", "k")
+        assert program.field_dims("b0") == ("i", "j", "k")
+
+    def test_field_dtype(self):
+        program = lst1_program()
+        assert program.field_dtype("a0").name == "float32"
+        assert program.field_dtype("b4").name == "float32"
+
+    def test_stencil_lookup(self):
+        program = lst1_program()
+        assert program.stencil("b3").name == "b3"
+        with pytest.raises(DefinitionError):
+            program.stencil("nope")
+
+    def test_with_vectorization(self):
+        program = lst1_program().with_vectorization(4)
+        assert program.vectorization == 4
+
+
+class TestValidation:
+    def _spec(self, **overrides):
+        spec = lst1_spec()
+        spec.update(overrides)
+        return spec
+
+    def test_missing_key(self):
+        spec = self._spec()
+        del spec["outputs"]
+        with pytest.raises(DefinitionError, match="missing top-level"):
+            StencilProgram.from_json(spec)
+
+    def test_too_many_dims(self):
+        with pytest.raises(DefinitionError, match="1, 2, or 3"):
+            StencilProgram.from_json(self._spec(shape=[4, 4, 4, 4]))
+
+    def test_nonpositive_extent(self):
+        with pytest.raises(DefinitionError, match="non-positive"):
+            StencilProgram.from_json(self._spec(shape=[4, 0, 4]))
+
+    def test_vectorization_must_divide(self):
+        with pytest.raises(DefinitionError, match="divide"):
+            StencilProgram.from_json(self._spec(vectorization=3))
+
+    def test_unknown_output(self):
+        with pytest.raises(DefinitionError, match="not produced"):
+            StencilProgram.from_json(self._spec(outputs=["zz"]))
+
+    def test_undefined_field_read(self):
+        spec = self._spec()
+        spec["program"]["b1"]["code"] = "qq[i,j,k] + 1"
+        with pytest.raises(DefinitionError, match="undefined field"):
+            StencilProgram.from_json(spec)
+
+    def test_cycle_rejected(self):
+        spec = {
+            "inputs": {"a": {"dtype": "float32", "dims": ["i"]}},
+            "outputs": ["x"],
+            "shape": [8],
+            "program": {
+                "x": {"code": "y[i] + 1", "boundary_condition": "shrink"},
+                "y": {"code": "x[i] + 1", "boundary_condition": "shrink"},
+            },
+        }
+        with pytest.raises(DefinitionError, match="cycle"):
+            StencilProgram.from_json(spec)
+
+    def test_wrong_access_dims(self):
+        from repro.errors import StencilFlowError
+        spec = self._spec()
+        spec["program"]["b1"]["code"] = "a2[i,j,k] + 1"
+        with pytest.raises(StencilFlowError, match="declared over dims"):
+            StencilProgram.from_json(spec)
+
+    def test_duplicate_name_with_input(self):
+        spec = self._spec()
+        spec["program"]["a0"] = {"code": "a1[i,j,k]",
+                                 "boundary_condition": "shrink"}
+        with pytest.raises(DefinitionError, match="duplicate"):
+            StencilProgram.from_json(spec)
+
+    def test_empty_program(self):
+        with pytest.raises(DefinitionError, match="no stencils"):
+            StencilProgram.from_json(self._spec(program={}))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        program = lst1_program()
+        again = StencilProgram.from_json_string(program.to_json_string())
+        assert again.to_json() == program.to_json()
+
+    def test_file_roundtrip(self, tmp_path):
+        program = lst1_program()
+        path = tmp_path / "prog.json"
+        path.write_text(program.to_json_string())
+        again = StencilProgram.from_json_file(path)
+        assert again.to_json() == program.to_json()
+
+    def test_extent(self):
+        program = lst1_program()
+        assert program.stencil("b3").extent() == {
+            "i": (-1, 1), "j": (0, 0), "k": (0, 0)}

@@ -1,0 +1,161 @@
+"""Unit tests for the program catalog and the hdiff construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DefinitionError
+from repro.expr import census, parse
+from repro.perf import (
+    arithmetic_intensity_ops_per_operand,
+    operand_traffic,
+    operands_per_cycle,
+    program_census,
+)
+from repro.programs import (
+    PAPER_CENSUS,
+    available_programs,
+    build,
+    chain,
+    dense_stencil_code,
+    horizontal_diffusion,
+    jacobi3d_code,
+    laplace2d,
+)
+from repro.run import run_reference
+
+
+class TestIterative:
+    def test_jacobi3d_is_8_ops(self):
+        counts = census(parse(jacobi3d_code("a")))
+        assert counts.flops == 8
+
+    def test_dense_stencil_op_counts(self):
+        for ops in (8, 12, 24, 30):
+            counts = census(parse(dense_stencil_code("a", ops)))
+            assert counts.flops == ops, ops
+
+    def test_dense_stencil_rejects_odd(self):
+        with pytest.raises(DefinitionError):
+            dense_stencil_code("a", 9)
+
+    def test_chain_structure(self):
+        program = chain(5, shape=(16, 8, 8))
+        assert len(program.stencils) == 5
+        assert program.outputs == ("s4",)
+        assert program.stencil("s2").accessed_fields == ("s1",)
+
+    def test_chain_rank_checks(self):
+        with pytest.raises(DefinitionError, match="3D domain"):
+            chain(2, shape=(16, 16), kernel="jacobi3d")
+
+    def test_chain_executes(self):
+        program = chain(3, shape=(6, 6, 6), kernel="jacobi2d"
+                        if False else "jacobi3d")
+        rng = np.random.default_rng(0)
+        result = run_reference(
+            program, {"inp": rng.random((6, 6, 6),
+                                        dtype=np.float32)})
+        assert result["s2"].data.shape == (6, 6, 6)
+        assert np.isfinite(result["s2"].data).all()
+
+    def test_chain_smooths(self):
+        # Jacobi iterations reduce variance.
+        program = chain(4, shape=(8, 16, 16))
+        rng = np.random.default_rng(0)
+        inp = rng.random((8, 16, 16), dtype=np.float32)
+        result = run_reference(program, {"inp": inp})
+        assert result["s3"].data.std() < inp.std()
+
+    def test_catalog(self):
+        assert "horizontal_diffusion" in available_programs()
+        program = build("laplace2d", shape=(16, 16))
+        assert program.stencil_names == ("b",)
+        with pytest.raises(DefinitionError, match="unknown program"):
+            build("nope")
+
+    def test_laplace_matches_numpy(self):
+        program = laplace2d(shape=(8, 8))
+        rng = np.random.default_rng(1)
+        a = rng.random((8, 8), dtype=np.float32)
+        result = run_reference(program, {"a": a})["b"]
+        expected = (-4 * a[1:-1, 1:-1] + a[:-2, 1:-1] + a[2:, 1:-1]
+                    + a[1:-1, :-2] + a[1:-1, 2:])
+        np.testing.assert_allclose(result.valid_view, expected,
+                                   rtol=1e-5)
+
+
+class TestHorizontalDiffusion:
+    def test_census_matches_paper_exactly(self):
+        counts = program_census(horizontal_diffusion(shape=(16, 16, 8)))
+        for key, value in PAPER_CENSUS.items():
+            assert getattr(counts, key) == value, key
+
+    def test_operand_traffic(self):
+        program = horizontal_diffusion()
+        i, j, k = program.shape
+        traffic = operand_traffic(program)
+        assert traffic.read_operands == 5 * i * j * k + 5 * i
+        assert traffic.write_operands == 4 * i * j * k
+
+    def test_arithmetic_intensity(self):
+        ai = arithmetic_intensity_ops_per_operand(horizontal_diffusion())
+        assert ai == pytest.approx(130 / 9, rel=1e-3)
+
+    def test_operands_per_cycle_near_nine(self):
+        assert operands_per_cycle(horizontal_diffusion()) == \
+            pytest.approx(9.0, abs=0.01)
+
+    def test_ten_unique_input_fields(self):
+        program = horizontal_diffusion()
+        assert len(program.inputs) == 10
+        three_d = [f for f in program.inputs.values() if len(f.dims) == 3]
+        one_d = [f for f in program.inputs.values() if len(f.dims) == 1]
+        assert len(three_d) == 5
+        assert len(one_d) == 5
+
+    def test_four_outputs(self):
+        program = horizontal_diffusion()
+        assert sorted(program.outputs) == ["pp_out", "u_out", "v_out",
+                                           "w_out"]
+
+    def test_fan_in_range(self):
+        # Each non-source stencil receives data from 2-6 other nodes
+        # (stencils and memories combined) per Sec. IX-A.
+        from repro.graph import StencilGraph
+        graph = StencilGraph(horizontal_diffusion(shape=(16, 16, 8)))
+        for stencil_id in graph.stencil_ids():
+            fan_in = len(graph.in_edges(stencil_id))
+            assert 1 <= fan_in <= 6, stencil_id
+
+    def test_executes_functionally(self):
+        program = horizontal_diffusion(shape=(12, 12, 4))
+        rng = np.random.default_rng(2)
+        inputs = {}
+        for name, spec in program.inputs.items():
+            shape = spec.shape(program.shape, program.index_names)
+            inputs[name] = (rng.random(shape, dtype=np.float32) * 0.1
+                            + 1.0)
+        results = run_reference(program, inputs)
+        for out in program.outputs:
+            view = results[out].valid_view
+            assert view.size > 0
+            assert np.isfinite(view).all()
+
+    def test_smag_clamped(self):
+        program = horizontal_diffusion(shape=(12, 12, 4))
+        rng = np.random.default_rng(2)
+        inputs = {}
+        for name, spec in program.inputs.items():
+            shape = spec.shape(program.shape, program.index_names)
+            inputs[name] = (rng.random(shape, dtype=np.float32) * 0.1
+                            + 1.0)
+        results = run_reference(program, inputs)
+        smag = results["smag_u"].valid_view
+        assert (smag >= 0).all()
+        assert (smag <= 0.5).all()
+
+    def test_vectorization_divides_domain(self):
+        program = horizontal_diffusion(vectorization=8)
+        assert program.shape[-1] % 8 == 0
+        program16 = horizontal_diffusion(vectorization=16)
+        assert program16.vectorization == 16

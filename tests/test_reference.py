@@ -1,0 +1,156 @@
+"""Unit tests for the NumPy reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import StencilProgram
+from repro.errors import ValidationError
+from repro.run import run_reference
+from util import lst1_inputs, lst1_program
+
+
+def _program(code, boundary="shrink", shape=(6, 6), dims=("i", "j")):
+    return StencilProgram.from_json({
+        "inputs": {"a": {"dtype": "float32", "dims": list(dims)}},
+        "outputs": ["s"],
+        "shape": list(shape),
+        "program": {"s": {"code": code, "boundary_condition": boundary}},
+    })
+
+
+class TestBoundaries:
+    def test_constant_boundary(self):
+        program = _program("a[i,j-1] + a[i,j+1]",
+                           {"a": {"type": "constant", "value": 10.0}})
+        a = np.ones((6, 6), dtype=np.float32)
+        result = run_reference(program, {"a": a})["s"]
+        assert result.is_fully_valid
+        # Interior: 1 + 1; edges: 10 + 1.
+        assert result.data[0, 0] == pytest.approx(11.0)
+        assert result.data[0, 3] == pytest.approx(2.0)
+
+    def test_copy_boundary(self):
+        program = _program("a[i,j-1] + a[i,j+1]", {"a": {"type": "copy"}})
+        a = np.arange(36, dtype=np.float32).reshape(6, 6)
+        result = run_reference(program, {"a": a})["s"]
+        # At j=0 the left neighbour is replaced by the center.
+        assert result.data[2, 0] == pytest.approx(a[2, 0] + a[2, 1])
+
+    def test_shrink_marks_invalid(self):
+        program = _program("a[i,j-1] + a[i,j+1]")
+        a = np.ones((6, 6), dtype=np.float32)
+        result = run_reference(program, {"a": a})["s"]
+        assert result.valid == ((0, 6), (1, 5))
+        assert np.isnan(result.data[:, 0]).all()
+        assert np.isnan(result.data[:, 5]).all()
+        assert np.all(result.valid_view == 2.0)
+
+    def test_shrink_propagates(self):
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+            "outputs": ["t"],
+            "shape": [6, 6],
+            "program": {
+                "s": {"code": "a[i,j-1] + a[i,j+1]",
+                      "boundary_condition": "shrink"},
+                "t": {"code": "s[i,j-1] + s[i,j+1]",
+                      "boundary_condition": "shrink"},
+            },
+        })
+        a = np.ones((6, 6), dtype=np.float32)
+        result = run_reference(program, {"a": a})["t"]
+        assert result.valid == ((0, 6), (2, 4))
+        assert np.all(result.valid_view == 4.0)
+
+    def test_constant_after_shrink_does_not_revalidate(self):
+        # A constant-boundary consumer of a shrunk producer still reads
+        # the producer's invalid boundary cells; they stay invalid.
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+            "outputs": ["t"],
+            "shape": [6, 6],
+            "program": {
+                "s": {"code": "a[i,j-1] + a[i,j+1]",
+                      "boundary_condition": "shrink"},
+                "t": {"code": "s[i,j-1] + s[i,j+1]",
+                      "boundary_condition": {
+                          "s": {"type": "constant", "value": 0}}},
+            },
+        })
+        a = np.ones((6, 6), dtype=np.float32)
+        result = run_reference(program, {"a": a})["t"]
+        assert result.valid == ((0, 6), (2, 4))
+
+
+class TestSemantics:
+    def test_lst1_manual_check(self):
+        program = lst1_program()
+        inputs = lst1_inputs()
+        results = run_reference(program, inputs)
+        b0 = inputs["a0"] + inputs["a1"]
+        b1 = 0.5 * (b0 + inputs["a2"][:, None, :])
+        b2 = 0.5 * (b0 - inputs["a2"][:, None, :])
+        b3 = b1[:-2] + b1[2:]
+        expected = b2[1:7] + b3
+        np.testing.assert_allclose(results["b4"].valid_view, expected,
+                                   rtol=1e-6)
+
+    def test_lower_dim_broadcast(self):
+        program = StencilProgram.from_json({
+            "inputs": {
+                "a": {"dtype": "float32", "dims": ["i", "j"]},
+                "row": {"dtype": "float32", "dims": ["j"]},
+            },
+            "outputs": ["s"],
+            "shape": [4, 5],
+            "program": {"s": {"code": "a[i,j] + row[j]",
+                              "boundary_condition": "shrink"}},
+        })
+        a = np.zeros((4, 5), dtype=np.float32)
+        row = np.arange(5, dtype=np.float32)
+        result = run_reference(program, {"a": a, "row": row})["s"]
+        np.testing.assert_allclose(result.data, np.tile(row, (4, 1)))
+
+    def test_scalar_input(self):
+        program = StencilProgram.from_json({
+            "inputs": {
+                "a": {"dtype": "float32", "dims": ["i"]},
+                "c": {"dtype": "float32", "dims": []},
+            },
+            "outputs": ["s"],
+            "shape": [8],
+            "program": {"s": {"code": "a[i] * c",
+                              "boundary_condition": "shrink"}},
+        })
+        a = np.ones(8, dtype=np.float32)
+        result = run_reference(program, {"a": a, "c": 3.0})["s"]
+        np.testing.assert_allclose(result.data, 3.0)
+
+    def test_data_dependent_branch(self):
+        program = _program("a[i,j] > 0 ? a[i,j] : -a[i,j]")
+        a = np.array([[-1.0, 2.0], [3.0, -4.0]], dtype=np.float32)
+        result = run_reference(
+            _program("a[i,j] > 0 ? a[i,j] : -a[i,j]", shape=(2, 2)),
+            {"a": a})["s"]
+        np.testing.assert_allclose(result.data, np.abs(a))
+
+    def test_output_dtype(self):
+        program = lst1_program()
+        results = run_reference(program, lst1_inputs())
+        assert results["b4"].data.dtype == np.float32
+
+    def test_all_intermediates_returned(self):
+        results = run_reference(lst1_program(), lst1_inputs())
+        assert set(results) == {"b0", "b1", "b2", "b3", "b4"}
+
+
+class TestInputValidation:
+    def test_missing_input(self):
+        with pytest.raises(ValidationError, match="missing input"):
+            run_reference(lst1_program(), {})
+
+    def test_wrong_shape(self):
+        inputs = lst1_inputs()
+        inputs["a2"] = np.ones((3, 3), dtype=np.float32)
+        with pytest.raises(ValidationError, match="expected shape"):
+            run_reference(lst1_program(), inputs)

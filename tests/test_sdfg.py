@@ -1,0 +1,147 @@
+"""Unit tests for the SDFG layer."""
+
+import pytest
+
+from repro.core import dtype
+from repro.errors import DefinitionError, GraphError
+from repro.sdfg import (
+    SDFG,
+    AccessNode,
+    MapEntry,
+    MapExit,
+    Memlet,
+    PipelineEntry,
+    StencilLibraryNode,
+    Tasklet,
+    build_sdfg,
+    stream_name,
+)
+from repro.programs import laplace2d
+from util import lst1_program
+
+
+class TestDescriptors:
+    def test_array(self):
+        sdfg = SDFG("t")
+        array = sdfg.add_array("a", (4, 4), dtype("float32"))
+        assert array.total_size == 16
+        assert array.bytes == 64
+
+    def test_stream(self):
+        sdfg = SDFG("t")
+        stream = sdfg.add_stream("s", dtype("float32"), buffer_size=10,
+                                 vector_width=4)
+        assert stream.bytes == 160
+
+    def test_duplicate_rejected(self):
+        sdfg = SDFG("t")
+        sdfg.add_array("a", (4,), dtype("float32"))
+        with pytest.raises(GraphError, match="duplicate"):
+            sdfg.add_scalar("a", dtype("float32"))
+
+    def test_local_storage(self):
+        sdfg = SDFG("t")
+        sdfg.add_array("buf", (128,), dtype("float32"), storage="local")
+        sdfg.add_stream("s", dtype("float32"), buffer_size=8)
+        assert sdfg.fast_memory_bytes() == 128 * 4 + 8 * 4
+
+    def test_invalid_storage(self):
+        sdfg = SDFG("t")
+        with pytest.raises(DefinitionError):
+            sdfg.add_array("a", (4,), dtype("float32"), storage="weird")
+
+
+class TestStateGraph:
+    def test_edges_and_topology(self):
+        sdfg = SDFG("t")
+        sdfg.add_array("a", (4,), dtype("float32"))
+        state = sdfg.add_state("main")
+        read = state.add_access("a")
+        tasklet = state.add_node(Tasklet("work", ("x",), ("y",), "y = x"))
+        state.add_edge(read, tasklet, Memlet("a"), "", "x")
+        order = state.topological_nodes()
+        assert order.index(read) < order.index(tasklet)
+
+    def test_unknown_container_rejected(self):
+        sdfg = SDFG("t")
+        state = sdfg.add_state("main")
+        with pytest.raises(GraphError, match="unknown data"):
+            state.add_access("nope")
+
+    def test_map_scope(self):
+        entry = MapEntry("m", ("i", "j"), ((0, 4), (0, 8)))
+        exit_node = MapExit(entry)
+        assert entry.iterations == 32
+        assert entry.exit is exit_node
+
+    def test_pipeline_scope(self):
+        pipe = PipelineEntry("p", ("t",), ((0, 100),), init_size=10,
+                             drain_size=5)
+        assert pipe.total_iterations == 115
+
+    def test_validate_catches_cycle(self):
+        sdfg = SDFG("t")
+        sdfg.add_array("a", (4,), dtype("float32"))
+        state = sdfg.add_state("main")
+        n1 = state.add_access("a")
+        n2 = state.add_access("a")
+        state.add_edge(n1, n2, Memlet("a"))
+        state.add_edge(n2, n1, Memlet("a"))
+        with pytest.raises(GraphError, match="cycle"):
+            sdfg.validate()
+
+
+class TestBuild:
+    def test_containers(self):
+        program = lst1_program()
+        sdfg = build_sdfg(program)
+        assert "a0" in sdfg.data
+        assert "b4_out" in sdfg.data
+        key = stream_name("stencil:b0", "stencil:b1", "b0")
+        assert key in sdfg.streams()
+
+    def test_stream_buffer_sizes_from_analysis(self):
+        from repro.analysis import analyze_buffers
+        program = lst1_program(shape=(16, 16, 16))
+        analysis = analyze_buffers(program)
+        sdfg = build_sdfg(program, analysis)
+        key = stream_name("stencil:b2", "stencil:b4", "b2")
+        expected = analysis.buffer_for_edge("stencil:b2", "stencil:b4",
+                                            "b2").size
+        assert sdfg.streams()[key].buffer_size == expected
+
+    def test_one_library_node_per_stencil(self):
+        sdfg = build_sdfg(lst1_program())
+        libraries = sdfg.states[0].library_nodes()
+        assert len(libraries) == 5
+        assert all(isinstance(n, StencilLibraryNode) for n in libraries)
+
+    def test_expansion_produces_fig12_phases(self):
+        sdfg = build_sdfg(laplace2d(shape=(16, 16)))
+        sdfg.expand_library_nodes()
+        sdfg.validate()
+        labels = [t.label for t in sdfg.states[0].tasklets()]
+        assert any(label.startswith("shift_") for label in labels)
+        assert any("compute" in label for label in labels)
+        assert any("conditional_write" in label for label in labels)
+        assert not sdfg.states[0].library_nodes()
+
+    def test_expansion_creates_local_buffers(self):
+        sdfg = build_sdfg(laplace2d(shape=(16, 16)))
+        sdfg.expand_library_nodes()
+        local = [a for a in sdfg.arrays().values()
+                 if a.storage == "local"]
+        assert local, "expansion must allocate shift registers"
+
+    def test_to_dot(self):
+        sdfg = build_sdfg(lst1_program())
+        dot = sdfg.to_dot()
+        assert dot.startswith("digraph")
+        assert "stencil_b3" in dot
+
+    def test_library_expand_unknown_impl(self):
+        program = lst1_program()
+        sdfg = build_sdfg(program)
+        node = sdfg.states[0].library_nodes()[0]
+        with pytest.raises(DefinitionError, match="no implementation"):
+            node.expand(sdfg, sdfg.states[0], implementation="rtl")

@@ -1,0 +1,257 @@
+"""Unit tests for the transformations: fusion, fission, nest_dim,
+canonicalization, and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_buffers
+from repro.core import StencilProgram
+from repro.errors import TransformationError
+from repro.expr import parse
+from repro.programs import horizontal_diffusion
+from repro.run import run_reference
+from repro.sdfg import build_sdfg
+from repro.transforms import (
+    aggressive_fusion,
+    can_fission,
+    can_fuse,
+    canonicalize,
+    extract_program,
+    fission,
+    fold_program,
+    fuse,
+    fusion_candidates,
+    nest_dim,
+    shift_expr,
+    substitute_field,
+)
+from util import lst1_program, random_inputs
+
+
+def _two_stage(code_s, code_t, shape=(8, 8)):
+    return StencilProgram.from_json({
+        "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+        "outputs": ["t"],
+        "shape": list(shape),
+        "program": {
+            "s": {"code": code_s, "boundary_condition": "shrink"},
+            "t": {"code": code_t, "boundary_condition": "shrink"},
+        },
+    })
+
+
+def _valid_overlap(a, b):
+    return tuple(slice(max(lo1, lo2), min(hi1, hi2))
+                 for (lo1, hi1), (lo2, hi2) in zip(a.valid, b.valid))
+
+
+class TestShift:
+    def test_shift_offsets(self):
+        node = shift_expr(parse("a[i-1,j,k] + b[i,k]"), {"i": 2})
+        assert str(node) == "(a[i+1, j, k] + b[i+2, k])"
+
+    def test_shift_missing_dim_noop(self):
+        node = shift_expr(parse("b[i,k]"), {"j": 5})
+        assert str(node) == "b[i, k]"
+
+    def test_substitute_inlines_shifted(self):
+        target = parse("2.0 * p[i-1,j]")
+        replacement = parse("a[i,j] + a[i,j+1]")
+        result = substitute_field(target, "p", replacement, {})
+        assert str(result) == "(2.0 * (a[i-1, j] + a[i-1, j+1]))"
+
+
+class TestFusionHeuristics:
+    def test_single_consumer_center_read_fusable(self):
+        program = _two_stage("a[i,j-1] + a[i,j+1]", "2.0*s[i,j]")
+        ok, _ = can_fuse(program, "s", "t")
+        assert ok
+
+    def test_output_not_fusable(self):
+        program = lst1_program()
+        ok, reason = can_fuse(program, "b4", "b4")
+        assert not ok
+
+    def test_multi_consumer_rejected(self):
+        program = lst1_program()
+        ok, reason = can_fuse(program, "b0", "b1")
+        assert not ok
+        assert "one consumer" in reason
+
+    def test_multi_offset_rejected(self):
+        program = _two_stage("a[i,j] * 2.0", "s[i,j-1] + s[i,j+1]")
+        ok, reason = can_fuse(program, "s", "t")
+        assert not ok
+        assert "offsets" in reason
+
+    def test_mismatched_boundaries_rejected(self):
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+            "outputs": ["t"],
+            "shape": [8, 8],
+            "program": {
+                "s": {"code": "a[i,j-1] + a[i,j+1]",
+                      "boundary_condition": {
+                          "a": {"type": "constant", "value": 0}}},
+                "t": {"code": "2.0*s[i,j]",
+                      "boundary_condition": "shrink"},
+            },
+        })
+        ok, reason = can_fuse(program, "s", "t")
+        assert not ok
+
+    def test_fusion_candidates_lst1(self):
+        # b1 feeds only b3 but at offsets i±1 -> rejected; b3 feeds only
+        # b4 at the center -> accepted.
+        candidates = fusion_candidates(lst1_program())
+        assert ("b3", "b4") in candidates
+        assert ("b1", "b3") not in candidates
+
+
+class TestFusionSemantics:
+    def test_semantics_preserved(self):
+        program = _two_stage("a[i,j-1] + a[i,j+1]", "2.0*s[i-1,j]")
+        inputs = random_inputs(program)
+        before = run_reference(program, inputs)["t"]
+        fused = fuse(program, "s", "t")
+        after = run_reference(fused, inputs)["t"]
+        window = _valid_overlap(before, after)
+        np.testing.assert_allclose(before.data[window],
+                                   after.data[window], rtol=1e-5)
+
+    def test_reduces_stencil_count(self):
+        program = _two_stage("a[i,j] + 1.0", "2.0*s[i,j]")
+        assert len(fuse(program, "s", "t").stencils) == 1
+
+    def test_unfusable_raises(self):
+        program = _two_stage("a[i,j] * 2.0", "s[i,j-1] + s[i,j+1]")
+        with pytest.raises(TransformationError):
+            fuse(program, "s", "t")
+
+    def test_aggressive_fusion_hdiff(self):
+        program = horizontal_diffusion(shape=(16, 16, 8))
+        fused = aggressive_fusion(program)
+        assert len(fused.stencils) < len(program.stencils)
+        assert fusion_candidates(fused) == []
+        inputs = random_inputs(program, seed=4)
+        for name in inputs:
+            inputs[name] = inputs[name].astype(np.float32) * 0.1 + 1.0
+        before = run_reference(program, inputs)["u_out"]
+        after = run_reference(fused, inputs)["u_out"]
+        window = _valid_overlap(before, after)
+        np.testing.assert_allclose(before.data[window],
+                                   after.data[window], rtol=1e-4)
+
+    def test_chain_fusion_reduces_latency(self):
+        # Fusing center-read chained stencils merges init phases.
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+            "outputs": ["t"],
+            "shape": [16, 16],
+            "program": {
+                "s": {"code": "a[i-1,j] + a[i+1,j]",
+                      "boundary_condition": "shrink"},
+                "t": {"code": "s[i,j] * 0.5",
+                      "boundary_condition": "shrink"},
+            },
+        })
+        fused = aggressive_fusion(program)
+        assert analyze_buffers(fused).pipeline_latency <= \
+            analyze_buffers(program).pipeline_latency
+
+
+class TestFission:
+    def test_roundtrip_with_fusion(self):
+        program = _two_stage("(a[i,j-1] + a[i,j+1]) * (a[i,j] + 1.0)",
+                             "s[i,j] * 2.0")
+        split = fission(program, "s")
+        assert set(split.stencil_names) == {"s__l", "s__r", "s", "t"}
+        inputs = random_inputs(program)
+        before = run_reference(program, inputs)["t"]
+        after = run_reference(split, inputs)["t"]
+        window = _valid_overlap(before, after)
+        np.testing.assert_allclose(before.data[window],
+                                   after.data[window], rtol=1e-5)
+
+    def test_leaf_operands_rejected(self):
+        program = _two_stage("a[i,j-1] + a[i,j+1]", "s[i,j] * 2.0")
+        ok, reason = can_fission(program, "s")
+        assert not ok
+
+    def test_leaf_side_stays_inline(self):
+        program = _two_stage("2.0 * (a[i,j] + a[i,j-1])", "s[i,j] + 0.0")
+        split = fission(program, "s")
+        # Only the compound right side is outlined.
+        assert "s__r" in split.stencil_names
+        assert "s__l" not in split.stencil_names
+
+    def test_boolean_top_rejected(self):
+        program = _two_stage("a[i,j] + 1.0", "s[i,j] > 0 ? 1.0 : 0.0")
+        ok, reason = can_fission(program, "t")
+        assert not ok
+
+
+class TestNestDim:
+    def test_shape_and_rename(self):
+        program = _two_stage("a[i,j-1] + a[i,j+1]", "s[i-1,j] * 2.0")
+        nested = nest_dim(program, 5)
+        assert nested.shape == (5, 8, 8)
+        assert nested.stencil("s").code == "(a[i, j, k-1] + a[i, j, k+1])"
+        assert nested.stencil("t").code == "(s[i, j-1, k] * 2.0)"
+
+    def test_broadcast_inputs_keep_shape(self):
+        program = StencilProgram.from_json({
+            "inputs": {
+                "a": {"dtype": "float32", "dims": ["i", "j"]},
+                "c": {"dtype": "float32", "dims": ["j"]},
+            },
+            "outputs": ["s"],
+            "shape": [8, 8],
+            "program": {"s": {"code": "a[i,j] * c[j]",
+                              "boundary_condition": "shrink"}},
+        })
+        nested = nest_dim(program, 4, broadcast_inputs=["c"])
+        assert nested.inputs["a"].dims == ("i", "j", "k")
+        assert nested.inputs["c"].dims == ("k",)
+
+    def test_semantics_slicewise(self):
+        program = _two_stage("a[i,j-1] + a[i,j+1]", "s[i,j] * 2.0")
+        inputs = random_inputs(program)
+        flat = run_reference(program, inputs)["t"]
+        nested = nest_dim(program, 3)
+        stacked = np.broadcast_to(inputs["a"], (3, 8, 8)).copy()
+        result = run_reference(nested, {"a": stacked})["t"]
+        np.testing.assert_allclose(result.data[1], flat.data,
+                                   rtol=1e-5, equal_nan=True)
+
+    def test_3d_rejected(self):
+        with pytest.raises(TransformationError, match="already"):
+            nest_dim(lst1_program(), 4)
+
+
+class TestCanonicalize:
+    def test_fold_program(self):
+        program = _two_stage("a[i,j] * (2.0 - 1.0) + 0.0",
+                             "s[i,j] + (3 - 3)")
+        folded = fold_program(program)
+        assert folded.stencil("s").code == "a[i, j]"
+
+    def test_canonicalize_folds_and_fuses(self):
+        program = _two_stage("a[i,j] + 0.0", "s[i,j] * 1.0")
+        canonical = canonicalize(program)
+        assert len(canonical.stencils) == 1
+
+    def test_extract_roundtrip(self):
+        program = lst1_program()
+        extracted = extract_program(build_sdfg(program))
+        assert set(extracted.stencil_names) == set(program.stencil_names)
+        assert extracted.shape == program.shape
+        assert set(extracted.inputs) == set(program.inputs)
+        assert set(extracted.outputs) == {"b4"}
+
+    def test_extract_requires_library_nodes(self):
+        from repro.sdfg import SDFG
+        empty = SDFG("empty")
+        empty.add_state("main")
+        with pytest.raises(TransformationError, match="no stencil"):
+            extract_program(empty)
