@@ -1,0 +1,92 @@
+"""Simulator engine performance: scalar vs batched on horizontal
+diffusion.
+
+Measures simulated throughput (domain cells per wall-clock second) of
+both engines on the COSMO horizontal-diffusion program at the paper's
+vectorization (W = 8).  The batched engine runs the paper-scale
+128 x 128 x 80 benchmark domain; the scalar engine is timed on a
+reduced domain (its per-cell cost is domain-independent, and the full
+domain would take it tens of minutes).  Cells/second is the comparable
+metric.
+
+Results are written to ``benchmarks/BENCH_simulator.json`` so the
+performance trajectory is tracked across PRs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.programs import horizontal_diffusion
+from repro.simulator import SimulatorConfig, simulate
+
+
+def random_inputs(program, seed=0):
+    rng = np.random.default_rng(seed)
+    out = {}
+    for name, spec in program.inputs.items():
+        shape = spec.shape(program.shape, program.index_names)
+        data = rng.random(shape) if shape else rng.random()
+        out[name] = np.asarray(data, dtype=spec.dtype.numpy)
+    return out
+
+#: The paper's performance-benchmark domain (Sec. IX) and W.
+PAPER_DOMAIN = (128, 128, 80)
+#: Reduced domain for timing the scalar engine.
+SCALAR_DOMAIN = (24, 24, 16)
+VECTORIZATION = 8
+
+BENCH_FILE = Path(__file__).parent / "BENCH_simulator.json"
+
+
+def _run(engine_mode, shape):
+    program = horizontal_diffusion(shape=shape,
+                                   vectorization=VECTORIZATION)
+    inputs = random_inputs(program)
+    start = time.perf_counter()
+    result = simulate(program, inputs,
+                      SimulatorConfig(engine_mode=engine_mode))
+    seconds = time.perf_counter() - start
+    return {
+        "domain": list(shape),
+        "cells": program.num_cells,
+        "seconds": round(seconds, 4),
+        "cells_per_second": round(program.num_cells / seconds),
+        "cycles": result.cycles,
+    }, result
+
+
+def test_engine_throughput():
+    scalar, scalar_result = _run("scalar", SCALAR_DOMAIN)
+    batched_small, batched_small_result = _run("batched", SCALAR_DOMAIN)
+    batched, _ = _run("batched", PAPER_DOMAIN)
+
+    # Correctness guard: on the common domain the engines agree bitwise
+    # and cycle-exactly (the full contract lives in
+    # tests/test_engine_equivalence.py).
+    assert batched_small_result.cycles == scalar_result.cycles
+    for name, expected in scalar_result.outputs.items():
+        assert np.array_equal(expected, batched_small_result.outputs[name],
+                              equal_nan=True), name
+
+    speedup = batched["cells_per_second"] / scalar["cells_per_second"]
+    record = {
+        "workload": "horizontal_diffusion",
+        "vectorization": VECTORIZATION,
+        "scalar": scalar,
+        "batched": batched,
+        "batched_on_scalar_domain": batched_small,
+        "speedup_cells_per_second": round(speedup, 1),
+    }
+    BENCH_FILE.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\nscalar : {scalar['cells_per_second']:>12,} cells/s "
+          f"on {scalar['domain']}")
+    print(f"batched: {batched['cells_per_second']:>12,} cells/s "
+          f"on {batched['domain']}")
+    print(f"speedup: {speedup:.1f}x  (written to {BENCH_FILE.name})")
+
+    # The acceptance bar for the batched engine.
+    assert speedup >= 10.0, f"batched engine only {speedup:.1f}x faster"

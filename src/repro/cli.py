@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "run":
             command.add_argument("--seed", type=int, default=0,
                                  help="random-input seed")
+            command.add_argument("--engine", default="auto",
+                                 choices=("auto", "scalar", "batched"),
+                                 help="simulator engine (auto picks the "
+                                      "batched NumPy engine when it "
+                                      "applies)")
     return parser
 
 
@@ -124,7 +129,7 @@ def _run(program: StencilProgram, args) -> int:
         inputs[name] = rng.random(shape).astype(spec.dtype.numpy) \
             if shape else spec.dtype.numpy.type(rng.random())
     session = Session(program)
-    result = session.run(inputs)
+    result = session.run(inputs, engine_mode=args.engine)
     sim = result.simulation
     print(f"simulated {sim.cycles} cycles "
           f"(Eq. 1 model: {sim.expected_cycles}, "

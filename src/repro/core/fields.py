@@ -154,6 +154,36 @@ def memory_order_distance(offsets_a: Sequence[int],
                - flatten_offset(offsets_b, domain))
 
 
+def row_major_strides(domain: Sequence[int]) -> Tuple[int, ...]:
+    """Row-major element strides of an iteration domain.
+
+    >>> row_major_strides((4, 8, 8))
+    (64, 8, 1)
+    """
+    strides = [1] * len(domain)
+    for axis in range(len(domain) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * domain[axis + 1]
+    return tuple(strides)
+
+
+def unflatten_index(t: int, domain: Sequence[int],
+                    strides: Optional[Tuple[int, ...]] = None
+                    ) -> Tuple[int, ...]:
+    """Invert row-major flattening: linear cell index -> coordinates.
+
+    ``strides`` may be supplied (from :func:`row_major_strides`) to avoid
+    recomputation in per-cell loops.
+
+    >>> unflatten_index(13, (4, 8, 8))
+    (0, 1, 5)
+    """
+    coords = []
+    for stride in strides or row_major_strides(domain):
+        coords.append(t // stride)
+        t %= stride
+    return tuple(coords)
+
+
 def flatten_offset(offsets: Sequence[int], domain: Sequence[int]) -> int:
     """Flatten a multi-dimensional offset into a signed linear distance.
 

@@ -10,7 +10,7 @@ program from its input description (Sec. VII).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional
 
 import numpy as np
@@ -118,12 +118,20 @@ class Session:
             device_of: Optional[Mapping[str, int]] = None,
             validate: bool = True,
             rtol: float = 1e-5,
-            atol: float = 1e-6) -> RunResult:
+            atol: float = 1e-6,
+            engine_mode: Optional[str] = None) -> RunResult:
         """Simulate the design and validate against the reference.
+
+        ``engine_mode`` overrides the simulator engine selection
+        (``"scalar"``, ``"batched"``, or ``"auto"``) without requiring a
+        full :class:`SimulatorConfig`.
 
         Raises :class:`ValidationError` when ``validate`` is set and any
         output mismatches the sequential reference on its valid region.
         """
+        if engine_mode is not None:
+            config = replace(config or SimulatorConfig(),
+                             engine_mode=engine_mode)
         simulation = simulate(self.program, inputs, config, device_of)
         reference = run_reference(self.program, inputs)
         validated = False

@@ -1,20 +1,63 @@
-"""Cycle-level spatial-dataflow simulator (the FPGA stand-in)."""
+"""Cycle-level spatial-dataflow simulator (the FPGA stand-in).
 
-from .channel import Channel, NetworkLink
-from .compile import CompiledStencil, compile_stencil
+Two execution engines share one machine model:
+
+* the **scalar engine** (:class:`Simulator`) steps every unit once per
+  cycle — simple, and the semantic reference;
+* the **batched engine** (:class:`BatchedSimulator`) plans the largest
+  word-batch ``B`` for which the machine's per-cycle behaviour pattern
+  provably repeats (min over channel free space and occupancy,
+  latency-line room, phase boundaries, link delivery windows, remaining
+  words) and executes all ``B`` cycles at once with NumPy slab
+  operations and vectorized stencil evaluation.
+
+The batching invariant: **identical observable machine state at every
+stall point**.  Outputs are bitwise identical and ``cycles``,
+``stall_cycles``, and channel occupancy high-water marks match the
+scalar engine exactly; when no unit can progress the batched engine
+falls back to scalar stepping, so deadlock detection (Fig. 4) and its
+diagnostics are unchanged.  ``SimulatorConfig.engine_mode`` selects
+``"scalar"``, ``"batched"``, or ``"auto"`` (batched unless the
+configuration defeats batching).
+"""
+
+from .batched import (
+    BatchedSimulator,
+    BatchedSinkUnit,
+    BatchedSourceUnit,
+    BatchedStencilUnit,
+)
+from .channel import (
+    ArrayChannel,
+    ArrayNetworkLink,
+    Channel,
+    NetworkLink,
+    RateLimiter,
+)
+from .compile import ArrayCompiledStencil, CompiledStencil, compile_stencil
 from .engine import (
     SimulationResult,
     Simulator,
     SimulatorConfig,
+    make_simulator,
+    resolve_engine_mode,
     simulate,
 )
 from .trace import Trace, TracingSimulator, simulate_traced
 from .units import SinkUnit, SourceUnit, StencilUnit
 
 __all__ = [
+    "ArrayChannel",
+    "ArrayCompiledStencil",
+    "ArrayNetworkLink",
+    "BatchedSimulator",
+    "BatchedSinkUnit",
+    "BatchedSourceUnit",
+    "BatchedStencilUnit",
     "Channel",
     "CompiledStencil",
     "NetworkLink",
+    "RateLimiter",
     "SimulationResult",
     "Simulator",
     "SimulatorConfig",
@@ -24,6 +67,8 @@ __all__ = [
     "Trace",
     "TracingSimulator",
     "compile_stencil",
+    "make_simulator",
+    "resolve_engine_mode",
     "simulate",
     "simulate_traced",
 ]

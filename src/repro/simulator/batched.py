@@ -1,0 +1,733 @@
+"""The batched NumPy execution engine.
+
+Between stall points the simulated machine is *deterministic*: every
+unit either makes progress every cycle or stalls every cycle, and every
+channel occupancy evolves linearly.  The batched engine exploits this by
+planning, per iteration, the largest word-batch ``B`` for which the
+machine's per-cycle behaviour pattern provably repeats — the minimum
+over channel free space, channel occupancy, latency-line room, phase
+boundaries, link delivery windows, and remaining words — and then
+executing all ``B`` cycles at once with NumPy slab operations.
+
+The batching invariant: **identical observable machine state at every
+stall point**.  ``cycles``, per-unit ``stall_cycles``, channel
+``max_occupancy`` high-water marks, streaming-continuity flags, and all
+outputs are exactly — bitwise — what the scalar engine produces,
+because every batch is accounted analytically with the scalar engine's
+own bookkeeping rules.  When no unit can progress (``B == 0``), the
+engine falls back to true scalar stepping, so deadlock detection
+(Fig. 4) and its diagnostics are unchanged.
+
+The units mirror :mod:`repro.simulator.units` but hold NumPy state:
+
+* :class:`BatchedSourceUnit` slices ``(B, W)`` slabs straight out of
+  the input array instead of boxing tuples;
+* :class:`BatchedStencilUnit` keeps per-field sliding windows as flat
+  float64 ring arrays, resolves a batch's accesses with precomputed
+  gather-index vectors plus boundary masks, and evaluates the stencil
+  through the array-mode compiler
+  (:class:`~repro.simulator.compile.ArrayCompiledStencil`);
+* :class:`BatchedSinkUnit` writes slabs directly into the output array.
+
+Known follow-up (see ROADMAP): links running at fractional rates
+(``words_per_cycle != 1``) are stepped scalar, and in-flight network
+batches are bounded by the timely in-flight prefix (≈ the wire latency).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fields import row_major_strides
+from ..core.program import StencilDefinition, StencilProgram
+from ..errors import SimulationError
+from .channel import (
+    ArrayChannel,
+    ArrayNetworkLink,
+    _RowRing,
+    timely_prefix_length,
+)
+from .compile import compile_stencil
+from .engine import SimulationResult, Simulator, deadlock_error
+from .units import SinkUnit, SourceUnit, StencilBookkeeping, schedule_reads
+
+_INF = float("inf")
+
+
+def _pow2_ceil(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+def _write_slab(channel, rows: np.ndarray, now: int, b: int):
+    """Push ``b`` words (one per cycle from ``now``) onto a channel,
+    computing per-row delivery times for network links."""
+    if isinstance(channel, ArrayNetworkLink):
+        times = now + np.arange(b, dtype=np.int64) + channel.latency
+        channel.write_rows(rows, times)
+    else:
+        channel.write_rows(rows)
+
+
+class BatchedSourceUnit(SourceUnit):
+    """Array-slab variant of :class:`~repro.simulator.units.SourceUnit`.
+
+    Inherits the scalar stepping (used on zero-progress fallback
+    cycles) and overrides only word materialization — channels carry
+    float64 rows — plus the slab fast path.
+    """
+
+    def __init__(self, name: str, data: np.ndarray, vector_width: int,
+                 out_channels: Sequence, words_per_cycle: float = 1.0):
+        super().__init__(name, data, vector_width, out_channels,
+                         words_per_cycle)
+        self.rows = np.asarray(self._flat, dtype=np.float64).reshape(
+            self.num_words, vector_width)
+        if (self._flat.dtype.kind in "iu"
+                and not np.array_equal(
+                    self.rows.reshape(-1).astype(self._flat.dtype),
+                    self._flat)):
+            raise SimulationError(
+                f"source {name!r}: integer values exceed float64's exact "
+                f"range (2**53); use engine_mode='scalar'")
+
+    def _materialize_word(self):
+        return self.rows[self.next_word]
+
+    def run_batch(self, now: int, b: int):
+        slab = self.rows[self.next_word:self.next_word + b]
+        for channel in self.out_channels:
+            _write_slab(channel, slab, now, b)
+        self.next_word += b
+
+
+class BatchedStencilUnit(StencilBookkeeping):
+    """Vectorized variant of :class:`~repro.simulator.units.StencilUnit`.
+
+    Field data lives in flat float64 ring windows sized to cover the
+    read-ahead plus one maximum batch; access resolution is a gather of
+    ``t + flat_offset`` (mod window) with per-access boundary masks.
+    """
+
+    def __init__(self, program: StencilProgram,
+                 stencil: StencilDefinition,
+                 in_channels: Dict[str, object],
+                 out_channels: Sequence,
+                 compute_latency: int,
+                 max_batch_words: int):
+        self.name = stencil.name
+        self.program = program
+        self.stencil = stencil
+        self.in_channels = dict(in_channels)
+        self.out_channels = list(out_channels)
+        self.compute_latency = max(0, compute_latency)
+
+        domain = program.shape
+        self.domain = domain
+        width = program.vectorization
+        self.width = width
+        self.num_cells = program.num_cells
+        self.num_words = self.num_cells // width
+
+        # The identical schedule the scalar unit derives, via the
+        # array-mode compiler (argument order matches by design).
+        self.compiled = compile_stencil(stencil.ast, mode="array")
+        fields = sorted(self.in_channels)
+        (self.access_info, readahead, self.init_words, self.pop_start,
+         self.min_flat) = schedule_reads(
+            domain, width, program.index_names, self.compiled.accesses,
+            fields)
+        self.fields = fields
+
+        # Sliding windows: ring arrays indexed by global cell index
+        # (mod size).  Sized so one maximum batch plus the read-ahead
+        # plus trailing history (negative offsets, copy-boundary
+        # centers) never laps itself.
+        self._window: Dict[str, np.ndarray] = {}
+        self._wmask: Dict[str, int] = {}
+        for field in fields:
+            span = ((readahead[field] + max_batch_words + 2) * width
+                    + max(0, -self.min_flat[field]) + width)
+            size = _pow2_ceil(span)
+            self._window[field] = np.zeros(size, dtype=np.float64)
+            self._wmask[field] = size - 1
+
+        self._strides = row_major_strides(domain)
+
+        # Latency line as parallel rings of rows and ready-times.
+        self.line_capacity = self.compute_latency + 1
+        line_rows = self.line_capacity + max_batch_words + 1
+        self._line_rows = _RowRing(line_rows, width)
+        self._line_times = _RowRing(line_rows, dtype=np.int64)
+
+        self.local_step = 0
+        self.stall_cycles = 0
+        self.stall_after_init = 0
+        self.first_push_cycle: Optional[int] = None
+        self.last_push_cycle: Optional[int] = None
+        self.words_pushed = 0
+        self._block = ""
+
+        boundary = stencil.boundary
+        self.shrink = boundary.shrink
+        self.boundary = boundary
+        self.fill_value = math.nan
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def line_len(self) -> int:
+        return len(self._line_rows)
+
+    @property
+    def line_head_time(self) -> int:
+        return int(self._line_times.peek0())
+
+    def line_timely_prefix(self, now: int) -> int:
+        """Largest ``m`` such that the first ``m`` latency-line words are
+        ready for drains at one word per cycle starting this cycle."""
+        return timely_prefix_length(self._line_times.snapshot(), now)
+
+    @property
+    def done(self) -> bool:
+        return (self.local_step >= self.init_words + self.num_words
+                and not len(self._line_rows))
+
+    # -- scalar fallback (exact mirror of StencilUnit.step) ------------------
+
+    def step(self, now: int) -> bool:
+        progressed = self._drain(now)
+        if self.local_step >= self.init_words + self.num_words:
+            return progressed
+        needed = self.needed_fields()
+        empty = [f for f in needed if self.in_channels[f].empty]
+        if empty:
+            self._note_stall(f"waiting on input(s) {empty}")
+            return progressed
+        if len(self._line_rows) >= self.line_capacity:
+            self._note_stall("output backpressure (latency line full)")
+            return progressed
+        for field in needed:
+            row = self.in_channels[field].pop()
+            self._window_write(field, 1, np.asarray(row).reshape(1, -1))
+        if self.local_step >= self.init_words:
+            out = self.compute_words(self.local_step - self.init_words, 1)
+            self._line_rows.push_rows(out)
+            self._line_times.push_rows(np.asarray(
+                [now + self.compute_latency], dtype=np.int64))
+        self.local_step += 1
+        return True
+
+    def _drain(self, now: int) -> bool:
+        if not len(self._line_rows):
+            return False
+        if self.line_head_time > now:
+            return False
+        if any(c.full for c in self.out_channels):
+            return False
+        row = self._line_rows.pop_rows(1)[0]
+        self._line_times.pop_rows(1)
+        for channel in self.out_channels:
+            channel.push(row)
+        self._mark_pushed(now, 1)
+        return True
+
+    def _push_out(self, rows: np.ndarray, now: int, b: int):
+        """Batch-path output: statistics are applied by record_batch."""
+        for channel in self.out_channels:
+            _write_slab(channel, rows, now, b)
+        self._mark_pushed(now, b)
+
+    # -- batched operation ---------------------------------------------------
+
+    def _window_write(self, field: str, b: int, rows: np.ndarray):
+        """Store ``b`` arrived words of ``field`` at their cell indices."""
+        start = (self.local_step - self.pop_start[field]) * self.width
+        window = self._window[field]
+        size = window.size
+        pos = start & self._wmask[field]
+        values = rows.reshape(-1)
+        n = values.size
+        first = min(n, size - pos)
+        window[pos:pos + first] = values[:first]
+        if first < n:
+            window[:n - first] = values[first:]
+
+    def compute_words(self, w0: int, b: int) -> np.ndarray:
+        """Vectorized stencil evaluation of words ``[w0, w0 + b)``."""
+        width = self.width
+        t = np.arange(w0 * width, (w0 + b) * width, dtype=np.int64)
+        coords = tuple((t // stride) % extent
+                       for stride, extent in zip(self._strides, self.domain))
+        args = []
+        for access, full, flat in self.access_info:
+            window = self._window[access.field]
+            mask = self._wmask[access.field]
+            values = window[(t + flat) & mask]
+            if any(full):
+                in_bounds = np.ones(t.size, dtype=bool)
+                for c, off, extent in zip(coords, full, self.domain):
+                    if off:
+                        pos = c + off
+                        in_bounds &= (pos >= 0) & (pos < extent)
+                if not in_bounds.all():
+                    if self.shrink:
+                        fill = self.fill_value
+                    else:
+                        condition = self.boundary.for_input(access.field)
+                        if condition.kind == "constant":
+                            fill = condition.value
+                        else:  # copy: the center value
+                            fill = window[t & mask]
+                    values = np.where(in_bounds, values, fill)
+            args.append(values)
+        out = self.compiled(args, coords)
+        return out.reshape(b, width)
+
+    def run_batch(self, now: int, b: int, needed: Sequence[str],
+                  advance: bool, drain: bool, stall_reason: str):
+        """Execute ``b`` identical cycles of the planned pattern."""
+        if advance:
+            for field in needed:
+                rows = self.in_channels[field].read_rows(b)
+                self._window_write(field, b, rows)
+            if self.local_step >= self.init_words:
+                out = self.compute_words(self.local_step - self.init_words,
+                                         b)
+                self._line_rows.push_rows(out)
+                self._line_times.push_rows(
+                    now + np.arange(b, dtype=np.int64)
+                    + self.compute_latency)
+        elif stall_reason:
+            self.stall_cycles += b
+            if self.local_step >= self.init_words:
+                self.stall_after_init += b
+            self._block = stall_reason
+        if drain:
+            rows = self._line_rows.pop_rows(b)
+            self._line_times.pop_rows(b)
+            self._push_out(rows, now, b)
+        if advance:
+            self.local_step += b
+
+
+class BatchedSinkUnit(SinkUnit):
+    """Array-slab variant of :class:`~repro.simulator.units.SinkUnit`.
+
+    Inherits the scalar stepping unchanged (an ``ArrayChannel`` pop
+    yields a row, which the per-lane store consumes like a tuple) and
+    adds the slab fast path.
+    """
+
+    def run_batch(self, now: int, b: int):
+        rows = self.in_channel.read_rows(b)
+        values = rows.reshape(-1)
+        if self.flat.dtype.kind in "iu" and not np.isfinite(values).all():
+            # Mirror the scalar engine's per-lane cast errors instead of
+            # NumPy's silent wraparound on slab assignment.
+            kind = "NaN" if np.isnan(values).any() else "infinity"
+            raise ValueError(f"cannot convert float {kind} to integer")
+        base = self.received * self.width
+        self.flat[base:base + values.size] = values
+        if self.first_word_cycle is None:
+            self.first_word_cycle = now
+        self.last_word_cycle = now + b - 1
+        self.received += b
+
+
+class _Plan:
+    """One planned machine cycle, and how many times it repeats."""
+
+    __slots__ = ("batch", "any_progress", "scalar_only", "bounds",
+                 "checks", "chan_push", "chan_pop", "link_deliver",
+                 "source_ops", "stencil_ops", "sink_ops")
+
+    def __init__(self):
+        self.batch = 0
+        self.any_progress = False
+        self.scalar_only = False
+        self.bounds: List[float] = []
+        # (channel, kind, occupancy-at-check); kind keys one of the four
+        # persistence predicates evaluated once all deltas are known.
+        self.checks: List[Tuple[object, str, int]] = []
+        self.chan_push: Dict[int, bool] = {}
+        self.chan_pop: Dict[int, bool] = {}
+        self.link_deliver: Dict[int, bool] = {}
+        self.source_ops: List[Tuple[object, object]] = []
+        self.stencil_ops: List[Tuple[object, dict]] = []
+        self.sink_ops: List[Tuple[object, bool]] = []
+
+
+class BatchedSimulator(Simulator):
+    """Drop-in :class:`~repro.simulator.engine.Simulator` replacement
+    executing deterministic stretches as NumPy batches.
+
+    Observable behaviour — outputs (bitwise), cycle count, stall
+    counters, occupancy high-water marks, deadlock diagnostics — is
+    identical to the scalar engine by construction; see the module
+    docstring for the invariant and
+    ``tests/test_engine_equivalence.py`` for the enforcement.
+    """
+
+    # -- construction --------------------------------------------------------
+
+    def _batch_cap(self) -> int:
+        """Largest batch this machine will ever execute: the configured
+        cap, clamped to the program's word count so ring headroom and
+        window allocations stay proportional to small domains."""
+        num_words = self.program.num_cells // self.program.vectorization
+        return max(1, min(self.config.max_batch_words, num_words))
+
+    def _make_channel(self, name: str, capacity: int):
+        return ArrayChannel(name, capacity, self.program.vectorization,
+                            headroom=self._batch_cap())
+
+    def _make_link(self, name: str, capacity: int):
+        config = self.config
+        return ArrayNetworkLink(
+            name, capacity, self.program.vectorization,
+            latency=config.network_latency,
+            words_per_cycle=config.network_words_per_cycle,
+            headroom=self._batch_cap())
+
+    def _make_source(self, name: str, data: np.ndarray, outs):
+        return BatchedSourceUnit(name, data, self.program.vectorization,
+                                 outs)
+
+    def _make_stencil(self, stencil, ins, outs, latency: int):
+        return BatchedStencilUnit(self.program, stencil, ins, outs, latency,
+                                  self._batch_cap())
+
+    def _make_sink(self, name: str, channel, dtype):
+        return BatchedSinkUnit(name, channel, self.program.shape,
+                               self.program.vectorization, dtype)
+
+    def _build(self, inputs):
+        super()._build(inputs)
+        # Producer/consumer step order per channel: whether the consumer
+        # unit acts before the producer within a cycle.  It decides both
+        # the transient occupancy peak at push time and whether a batch
+        # must be bounded by the words already buffered.
+        producer_idx: Dict[int, int] = {}
+        consumer_idx: Dict[int, int] = {}
+        for idx, unit in enumerate(self.units):
+            for channel in getattr(unit, "out_channels", []):
+                producer_idx[id(channel)] = idx
+            for channel in getattr(unit, "in_channels", {}).values():
+                consumer_idx[id(channel)] = idx
+            if hasattr(unit, "in_channel"):
+                consumer_idx[id(unit.in_channel)] = idx
+        self._consumer_first = {
+            key: consumer_idx.get(key, len(self.units)) < prod
+            for key, prod in producer_idx.items()}
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan_cycle(self, now: int) -> _Plan:
+        """Virtually execute one cycle in unit order, recording each
+        unit's action, the occupancy seen at every full/empty check, and
+        the persistence bounds that keep the pattern valid."""
+        plan = _Plan()
+        adj_total: Dict[int, int] = {}
+        adj_ready: Dict[int, int] = {}
+
+        def v_total(channel) -> int:
+            return len(channel) + adj_total.get(id(channel), 0)
+
+        def v_ready(channel) -> int:
+            base = len(channel)
+            if isinstance(channel, ArrayNetworkLink):
+                base -= channel.in_flight_len
+            return base + adj_ready.get(id(channel), 0)
+
+        def v_full(channel) -> bool:
+            return v_total(channel) >= channel.capacity
+
+        def v_empty(channel) -> bool:
+            return v_ready(channel) <= 0
+
+        empty_links: List[ArrayNetworkLink] = []
+        for link in self.links:
+            if link.words_per_cycle != 1.0:
+                plan.scalar_only = True
+                return plan
+            key = id(link)
+            if link.in_flight_len and link.head_time <= now:
+                plan.link_deliver[key] = True
+                adj_ready[key] = adj_ready.get(key, 0) + 1
+                # Deliveries are bounded by the timely in-flight prefix;
+                # words pushed during the batch wait for the next plan.
+                plan.bounds.append(link.timely_prefix(now))
+            elif link.in_flight_len:
+                plan.bounds.append(link.head_time - now)
+            else:
+                empty_links.append(link)
+
+        for unit in self.units:
+            if isinstance(unit, BatchedSourceUnit):
+                self._plan_source(unit, plan, v_full, v_total,
+                                  adj_total, adj_ready)
+            elif isinstance(unit, BatchedStencilUnit):
+                self._plan_stencil(unit, now, plan, v_full, v_empty,
+                                   v_total, v_ready, adj_total, adj_ready)
+            else:
+                self._plan_sink(unit, plan, v_empty, v_ready, adj_total,
+                                adj_ready)
+            if plan.scalar_only:
+                return plan
+
+        # An idle link starts delivering `latency` cycles after the
+        # producer's first push lands on it.
+        for link in empty_links:
+            if plan.chan_push.get(id(link)):
+                plan.bounds.append(max(link.latency, 1))
+
+        if not plan.any_progress:
+            plan.scalar_only = True
+            return plan
+
+        plan.batch = self._evaluate_bounds(plan)
+        return plan
+
+    def _mark_push(self, channel, plan, adj_total, adj_ready):
+        key = id(channel)
+        plan.chan_push[key] = True
+        adj_total[key] = adj_total.get(key, 0) + 1
+        if not isinstance(channel, ArrayNetworkLink):
+            adj_ready[key] = adj_ready.get(key, 0) + 1
+
+    def _mark_pop(self, channel, plan, adj_total, adj_ready):
+        key = id(channel)
+        plan.chan_pop[key] = True
+        adj_total[key] = adj_total.get(key, 0) - 1
+        adj_ready[key] = adj_ready.get(key, 0) - 1
+
+    def _plan_source(self, unit, plan, v_full, v_total, adj_total,
+                     adj_ready):
+        if unit.done:
+            return
+        if unit.words_per_cycle != 1.0:
+            plan.scalar_only = True
+            return
+        full = [c for c in unit.out_channels if v_full(c)]
+        if full:
+            names = [c.name for c in full]
+            plan.source_ops.append((unit, f"output full: {names}"))
+            for channel in full:
+                plan.checks.append((channel, "stay_full",
+                                    v_total(channel)))
+            return
+        plan.any_progress = True
+        plan.source_ops.append((unit, None))
+        plan.bounds.append(unit.num_words - unit.next_word)
+        for channel in unit.out_channels:
+            plan.checks.append((channel, "stay_not_full",
+                                v_total(channel)))
+            self._mark_push(channel, plan, adj_total, adj_ready)
+
+    def _plan_stencil(self, unit, now, plan, v_full, v_empty, v_total,
+                      v_ready, adj_total, adj_ready):
+        latency = unit.compute_latency
+        line_len = unit.line_len
+        drain = False
+        if line_len and unit.line_head_time <= now:
+            full = [c for c in unit.out_channels if v_full(c)]
+            if not full:
+                drain = True
+                for channel in unit.out_channels:
+                    plan.checks.append((channel, "stay_not_full",
+                                        v_total(channel)))
+                    self._mark_push(channel, plan, adj_total, adj_ready)
+            else:
+                for channel in full:
+                    plan.checks.append((channel, "stay_full",
+                                        v_total(channel)))
+        elif line_len:
+            plan.bounds.append(unit.line_head_time - now)
+
+        advance = False
+        needed: List[str] = []
+        stall_reason = ""
+        finished = unit.local_step >= unit.init_words + unit.num_words
+        if not finished:
+            local = unit.local_step
+            for field in unit.fields:
+                start = unit.pop_start[field]
+                if local < start:
+                    plan.bounds.append(start - local)
+                elif local < start + unit.num_words:
+                    needed.append(field)
+                    plan.bounds.append(start + unit.num_words - local)
+            if local < unit.init_words:
+                plan.bounds.append(unit.init_words - local)
+            plan.bounds.append(unit.init_words + unit.num_words - local)
+
+            empty = [f for f in needed if v_empty(unit.in_channels[f])]
+            if empty:
+                stall_reason = f"waiting on input(s) {empty}"
+                for field in empty:
+                    channel = unit.in_channels[field]
+                    plan.checks.append((channel, "stay_empty",
+                                        v_ready(channel)))
+            elif line_len - int(drain) >= unit.line_capacity:
+                stall_reason = "output backpressure (latency line full)"
+                if drain:
+                    plan.bounds.append(1)
+            else:
+                advance = True
+                plan.any_progress = True
+                for field in needed:
+                    channel = unit.in_channels[field]
+                    plan.checks.append((channel, "stay_nonempty",
+                                        v_ready(channel)))
+                    if self._consumer_first.get(id(channel)):
+                        # Slab pops can only touch words already pushed.
+                        plan.bounds.append(v_ready(channel))
+                    self._mark_pop(channel, plan, adj_total, adj_ready)
+                if local >= unit.init_words and not drain:
+                    # The latency line grows by one word per cycle.
+                    plan.bounds.append(unit.line_capacity - line_len)
+
+        will_append = advance and unit.local_step >= unit.init_words
+        if drain:
+            plan.any_progress = True
+            m = unit.line_timely_prefix(now)
+            sustained = (will_append and m == line_len
+                         and line_len >= max(latency, 1))
+            if not sustained:
+                plan.bounds.append(m)
+        elif not line_len and will_append:
+            # First drain of freshly computed words happens `latency`
+            # cycles later (next cycle for latency 0).
+            plan.bounds.append(max(latency, 1))
+
+        plan.stencil_ops.append((unit, {
+            "needed": needed, "advance": advance, "drain": drain,
+            "stall_reason": stall_reason}))
+
+    def _plan_sink(self, unit, plan, v_empty, v_ready, adj_total,
+                   adj_ready):
+        if unit.done:
+            return
+        channel = unit.in_channel
+        if v_empty(channel):
+            plan.sink_ops.append((unit, False))
+            plan.checks.append((channel, "stay_empty", v_ready(channel)))
+            return
+        plan.any_progress = True
+        plan.sink_ops.append((unit, True))
+        plan.bounds.append(unit.num_words - unit.received)
+        plan.checks.append((channel, "stay_nonempty", v_ready(channel)))
+        if self._consumer_first.get(id(channel)):
+            plan.bounds.append(v_ready(channel))
+        self._mark_pop(channel, plan, adj_total, adj_ready)
+
+    def _evaluate_bounds(self, plan: _Plan) -> int:
+        """Convert the recorded checks into batch bounds: how many cycles
+        each full/empty observation stays true under linear occupancy
+        evolution, then take the global minimum."""
+        bound = min(plan.bounds, default=_INF)
+        bound = min(bound, self._batch_cap())
+        for channel, kind, value in plan.checks:
+            key = id(channel)
+            pushed = int(bool(plan.chan_push.get(key)))
+            popped = int(bool(plan.chan_pop.get(key)))
+            if kind in ("stay_empty", "stay_nonempty"):
+                if isinstance(channel, ArrayNetworkLink):
+                    delta = (int(bool(plan.link_deliver.get(key)))
+                             - popped)
+                else:
+                    delta = pushed - popped
+            else:
+                delta = pushed - popped
+            capacity = channel.capacity
+            if kind == "stay_not_full":
+                if delta > 0:
+                    bound = min(bound, (capacity - 1 - value) // delta + 1)
+            elif kind == "stay_full":
+                if delta < 0:
+                    bound = min(bound, (value - capacity) // (-delta) + 1)
+            elif kind == "stay_nonempty":
+                if delta < 0:
+                    bound = min(bound, (value - 1) // (-delta) + 1)
+            elif kind == "stay_empty":
+                if delta > 0:
+                    bound = min(bound, 1)
+        return max(1, int(bound))
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute_batch(self, plan: _Plan, now: int):
+        b = plan.batch
+        # Links deliver first (they step before units each cycle).
+        for link in self.links:
+            if plan.link_deliver.get(id(link)):
+                link.deliver_rows(b)
+        # Channel statistics are applied analytically against the
+        # pre-batch occupancy, exactly as B scalar cycles would have.
+        for channel in self.channels.values():
+            key = id(channel)
+            pushed = bool(plan.chan_push.get(key))
+            popped = bool(plan.chan_pop.get(key))
+            if pushed or popped:
+                channel.record_batch(
+                    b, pushed, popped,
+                    bool(self._consumer_first.get(key)))
+        for unit, stall in plan.source_ops:
+            if stall is None:
+                unit.run_batch(now, b)
+            else:
+                unit.stall_cycles += b
+                unit._block = stall
+        for unit, op in plan.stencil_ops:
+            unit.run_batch(now, b, op["needed"], op["advance"],
+                           op["drain"], op["stall_reason"])
+        for unit, progress in plan.sink_ops:
+            if progress:
+                unit.run_batch(now, b)
+            else:
+                unit.stall_cycles += b
+                unit._block = "waiting on producer"
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> SimulationResult:
+        """Simulate to completion; see :meth:`Simulator.run`."""
+        self._build(inputs)
+        expected = self._expected_cycles()
+        max_cycles = self._max_cycles(expected)
+        now = 0
+        idle_streak = 0
+        while not all(u.done for u in self.units):
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(expected ~{expected})")
+            plan = self._plan_cycle(now)
+            if not plan.scalar_only:
+                plan.batch = min(plan.batch, max_cycles - now)
+                self._execute_batch(plan, now)
+                idle_streak = 0
+                now += plan.batch
+                continue
+            # Exact scalar step: unbatchable patterns, and all
+            # zero-progress cycles so deadlock detection is unchanged.
+            progressed = False
+            for link in self.links:
+                link.step(now)
+            for unit in self.units:
+                if unit.step(now):
+                    progressed = True
+            if progressed:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                in_flight = sum(len(link) for link in self.links)
+                if idle_streak >= self.config.deadlock_window and \
+                        in_flight == 0:
+                    raise deadlock_error(self.units, now)
+            now += 1
+
+        return self._collect_result(now)

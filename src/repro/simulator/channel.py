@@ -4,15 +4,65 @@ Channels model the Intel OpenCL channel abstraction the generated code
 targets (Sec. VI-A): compile-time fixed capacity, blocking on full/empty.
 Network links (Sec. VI-B, SMI remote streams) add propagation latency and
 a bounded per-cycle transfer rate.
+
+Two implementations exist for each:
+
+* :class:`Channel` / :class:`NetworkLink` — deque-of-words, used by the
+  scalar engine, where a word is whatever Python object the producer
+  pushes (a ``W``-tuple of floats in practice).
+* :class:`ArrayChannel` / :class:`ArrayNetworkLink` — NumPy ring
+  buffers storing words as rows of an ``(n, W)`` float64 slab, used by
+  the batched engine.  They speak the same scalar ``push``/``pop``
+  protocol (words are 1-D rows) plus a slab protocol
+  (``write_rows``/``read_rows``) and analytic per-batch statistics
+  (:meth:`ArrayChannel.record_batch`), so a batch of ``B`` cycles can be
+  accounted without touching Python once per word.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, Optional, Tuple
+
+import numpy as np
 
 from ..errors import SimulationError
+
+
+class RateLimiter:
+    """Fractional-bandwidth credit accounting.
+
+    Shared by :class:`~repro.simulator.units.SourceUnit` (modeling shared
+    memory bandwidth) and :class:`NetworkLink` (modeling the QSFP wire
+    rate): credit accumulates at ``rate`` words per cycle, capped at
+    ``max(rate, 1.0)``, and each transferred word spends 1.0 credit.  A
+    0.5 words/cycle limiter therefore admits one word every other cycle;
+    a rate >= 1 admits one word per cycle with no burst accumulation
+    beyond the cap.
+    """
+
+    __slots__ = ("rate", "credit")
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise SimulationError(
+                f"rate limiter: words_per_cycle must be positive, "
+                f"got {rate}")
+        self.rate = float(rate)
+        self.credit = 0.0
+
+    def refill(self):
+        """Accrue one cycle's worth of credit (call once per cycle)."""
+        self.credit = min(self.credit + self.rate, max(self.rate, 1.0))
+
+    @property
+    def ready(self) -> bool:
+        """Whether a word may be transferred right now."""
+        return self.credit >= 1.0
+
+    def spend(self):
+        """Account one transferred word."""
+        self.credit -= 1.0
 
 
 class Channel:
@@ -85,9 +135,8 @@ class NetworkLink:
     sender through ``full``).
     """
 
-    __slots__ = ("name", "capacity", "latency", "words_per_cycle",
-                 "_in_flight", "_ready", "pushes", "pops", "max_occupancy",
-                 "_now", "_credit")
+    __slots__ = ("name", "capacity", "latency", "_in_flight", "_ready",
+                 "pushes", "pops", "max_occupancy", "_now", "_limiter")
 
     def __init__(self, name: str, capacity: int, latency: int = 16,
                  words_per_cycle: float = 1.0):
@@ -100,14 +149,17 @@ class NetworkLink:
         self.name = name
         self.capacity = capacity
         self.latency = latency
-        self.words_per_cycle = words_per_cycle
         self._in_flight: Deque[Tuple[int, Any]] = deque()
         self._ready: Deque[Any] = deque()
         self.pushes = 0
         self.pops = 0
         self.max_occupancy = 0
         self._now = 0
-        self._credit = 0.0
+        self._limiter = RateLimiter(words_per_cycle)
+
+    @property
+    def words_per_cycle(self) -> float:
+        return self._limiter.rate
 
     def __len__(self) -> int:
         return len(self._in_flight) + len(self._ready)
@@ -148,14 +200,307 @@ class NetworkLink:
         self._now = now
         # Fractional rates accumulate credit: a 0.5 words/cycle link
         # delivers one word every other cycle.
-        self._credit = min(self._credit + self.words_per_cycle,
-                           max(self.words_per_cycle, 1.0))
-        while (self._in_flight and self._credit >= 1.0
+        self._limiter.refill()
+        while (self._in_flight and self._limiter.ready
                and self._in_flight[0][0] <= now):
             _, word = self._in_flight.popleft()
             self._ready.append(word)
-            self._credit -= 1.0
+            self._limiter.spend()
 
     def __repr__(self) -> str:
         return (f"NetworkLink({self.name!r}, ready={len(self._ready)}, "
                 f"in_flight={len(self._in_flight)})")
+
+
+class _RowRing:
+    """A preallocated FIFO of fixed-shape NumPy rows.
+
+    Backs the batched channels: rows live in one contiguous array, reads
+    and writes move slabs with at most two slice copies (wraparound).
+    """
+
+    __slots__ = ("_buf", "_rows", "_head", "_size")
+
+    def __init__(self, rows: int, width: Optional[int] = None,
+                 dtype=np.float64):
+        shape = (rows,) if width is None else (rows, width)
+        self._buf = np.zeros(shape, dtype=dtype)
+        self._rows = rows
+        self._head = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push_rows(self, rows: np.ndarray):
+        b = len(rows)
+        if self._size + b > self._rows:
+            raise SimulationError(
+                f"ring overflow: {self._size}+{b} > {self._rows}")
+        tail = (self._head + self._size) % self._rows
+        first = min(b, self._rows - tail)
+        self._buf[tail:tail + first] = rows[:first]
+        if first < b:
+            self._buf[:b - first] = rows[first:]
+        self._size += b
+
+    def pop_rows(self, b: int) -> np.ndarray:
+        if b > self._size:
+            raise SimulationError(
+                f"ring underflow: {b} > {self._size}")
+        out = np.empty((b,) + self._buf.shape[1:], dtype=self._buf.dtype)
+        first = min(b, self._rows - self._head)
+        out[:first] = self._buf[self._head:self._head + first]
+        if first < b:
+            out[first:] = self._buf[:b - first]
+        self._head = (self._head + b) % self._rows
+        self._size -= b
+        return out
+
+    def peek0(self):
+        if not self._size:
+            raise SimulationError("peek at empty ring")
+        return self._buf[self._head]
+
+    def snapshot(self) -> np.ndarray:
+        """The live contents, oldest first (copies at most two slices)."""
+        size, head = self._size, self._head
+        out = np.empty((size,) + self._buf.shape[1:], dtype=self._buf.dtype)
+        first = min(size, self._rows - head)
+        out[:first] = self._buf[head:head + first]
+        if first < size:
+            out[first:] = self._buf[:size - first]
+        return out
+
+
+def timely_prefix_length(times: np.ndarray, now: int) -> int:
+    """Largest ``m`` such that the first ``m`` entries of ``times`` can
+    be consumed at one per cycle starting this cycle (entry ``j``'s
+    ready time has elapsed by cycle ``now + j``).
+
+    Shared by network links (delivery windows) and the batched stencil
+    unit's latency line (drain windows).
+    """
+    if not times.size:
+        return 0
+    late = times > (now + np.arange(times.size, dtype=np.int64))
+    if not late.any():
+        return int(times.size)
+    return int(np.argmax(late))
+
+
+def _batch_stats(channel, cycles: int, pushed: bool, popped: bool,
+                 consumer_first: bool):
+    """Apply ``cycles`` cycles of a fixed push/pop pattern to a channel's
+    statistics, exactly as the scalar engine would have recorded them.
+
+    Per cycle the producer pushes ``pushed`` words and the consumer pops
+    ``popped``; ``consumer_first`` states whether the consumer unit steps
+    before the producer within a cycle (it determines the transient
+    occupancy seen at push time, which is when ``max_occupancy`` is
+    sampled).
+    """
+    occupancy = len(channel)
+    delta = int(pushed) - int(popped)
+    if pushed:
+        t_peak = cycles - 1 if delta > 0 else 0
+        peak = occupancy + t_peak * delta + 1
+        if consumer_first and popped:
+            peak -= 1
+        if peak > channel.max_occupancy:
+            channel.max_occupancy = peak
+        channel.pushes += cycles
+    if popped:
+        channel.pops += cycles
+
+
+class ArrayChannel:
+    """NumPy ring-buffer variant of :class:`Channel`.
+
+    Words are rows of width ``W``; slabs of ``B`` words move in two
+    slice copies.  ``headroom`` extra rows absorb the transient where a
+    batch writes all ``B`` producer words before the consumer's ``B``
+    pops are applied.
+    """
+
+    __slots__ = ("name", "capacity", "width", "_ring", "pushes", "pops",
+                 "max_occupancy")
+
+    def __init__(self, name: str, capacity: int, width: int,
+                 headroom: int = 0):
+        if capacity < 1:
+            raise SimulationError(
+                f"channel {name!r}: capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.width = width
+        self._ring = _RowRing(capacity + headroom + 1, width)
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def full(self) -> bool:
+        return len(self._ring) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not len(self._ring)
+
+    # -- scalar protocol (used by the batched engine's fallback steps) ------
+
+    def push(self, word):
+        if self.full:
+            raise SimulationError(f"push to full channel {self.name!r}")
+        row = np.asarray(word, dtype=np.float64).reshape(1, self.width)
+        self._ring.push_rows(row)
+        self.pushes += 1
+        if len(self._ring) > self.max_occupancy:
+            self.max_occupancy = len(self._ring)
+
+    def pop(self) -> np.ndarray:
+        if self.empty:
+            raise SimulationError(f"pop from empty channel {self.name!r}")
+        self.pops += 1
+        return self._ring.pop_rows(1)[0]
+
+    def peek(self) -> np.ndarray:
+        if self.empty:
+            raise SimulationError(f"peek at empty channel {self.name!r}")
+        return self._ring.peek0()
+
+    # -- slab protocol (statistics are applied via record_batch) ------------
+
+    def write_rows(self, rows: np.ndarray):
+        self._ring.push_rows(rows)
+
+    def read_rows(self, b: int) -> np.ndarray:
+        return self._ring.pop_rows(b)
+
+    def record_batch(self, cycles: int, pushed: bool, popped: bool,
+                     consumer_first: bool):
+        _batch_stats(self, cycles, pushed, popped, consumer_first)
+
+    def __repr__(self) -> str:
+        return (f"ArrayChannel({self.name!r}, {len(self)}/"
+                f"{self.capacity})")
+
+
+class ArrayNetworkLink:
+    """NumPy ring-buffer variant of :class:`NetworkLink`.
+
+    In-flight words carry per-row delivery times; the batched engine
+    moves timely prefixes in one slab (:meth:`deliver_rows`) and bounds
+    batches with :meth:`timely_prefix`.
+    """
+
+    __slots__ = ("name", "capacity", "latency", "_limiter", "_now",
+                 "_in_rows", "_in_times", "_ready", "pushes", "pops",
+                 "max_occupancy")
+
+    def __init__(self, name: str, capacity: int, width: int,
+                 latency: int = 16, words_per_cycle: float = 1.0,
+                 headroom: int = 0):
+        if capacity < 1:
+            raise SimulationError(
+                f"link {name!r}: capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.latency = latency
+        self._limiter = RateLimiter(words_per_cycle)
+        self._now = 0
+        rows = capacity + headroom + 1
+        self._in_rows = _RowRing(rows, width)
+        self._in_times = _RowRing(rows, dtype=np.int64)
+        self._ready = _RowRing(rows, width)
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    @property
+    def words_per_cycle(self) -> float:
+        return self._limiter.rate
+
+    def __len__(self) -> int:
+        return len(self._in_rows) + len(self._ready)
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not len(self._ready)
+
+    @property
+    def in_flight_len(self) -> int:
+        return len(self._in_rows)
+
+    @property
+    def head_time(self) -> int:
+        return int(self._in_times.peek0())
+
+    # -- scalar protocol ----------------------------------------------------
+
+    def push(self, word):
+        if self.full:
+            raise SimulationError(f"push to full link {self.name!r}")
+        row = np.asarray(word, dtype=np.float64).reshape(1, -1)
+        self._in_rows.push_rows(row)
+        self._in_times.push_rows(
+            np.asarray([self._now + self.latency], dtype=np.int64))
+        self.pushes += 1
+        if len(self) > self.max_occupancy:
+            self.max_occupancy = len(self)
+
+    def pop(self) -> np.ndarray:
+        if self.empty:
+            raise SimulationError(f"pop from empty link {self.name!r}")
+        self.pops += 1
+        return self._ready.pop_rows(1)[0]
+
+    def peek(self) -> np.ndarray:
+        if self.empty:
+            raise SimulationError(f"peek at empty link {self.name!r}")
+        return self._ready.peek0()
+
+    def step(self, now: int):
+        """Advance time: deliver in-flight words whose latency elapsed."""
+        self._now = now
+        self._limiter.refill()
+        while (len(self._in_rows) and self._limiter.ready
+               and self._in_times.peek0() <= now):
+            self._ready.push_rows(self._in_rows.pop_rows(1))
+            self._in_times.pop_rows(1)
+            self._limiter.spend()
+
+    # -- slab protocol ------------------------------------------------------
+
+    def timely_prefix(self, now: int) -> int:
+        """Largest ``m`` such that the first ``m`` in-flight words can be
+        delivered at one word per cycle starting this cycle."""
+        return timely_prefix_length(self._in_times.snapshot(), now)
+
+    def deliver_rows(self, b: int):
+        self._ready.push_rows(self._in_rows.pop_rows(b))
+        self._in_times.pop_rows(b)
+
+    def write_rows(self, rows: np.ndarray, times: np.ndarray):
+        self._in_rows.push_rows(rows)
+        self._in_times.push_rows(np.asarray(times, dtype=np.int64))
+        self._now = int(times[-1]) - self.latency
+
+    def read_rows(self, b: int) -> np.ndarray:
+        return self._ready.pop_rows(b)
+
+    def record_batch(self, cycles: int, pushed: bool, popped: bool,
+                     consumer_first: bool):
+        _batch_stats(self, cycles, pushed, popped, consumer_first)
+
+    def __repr__(self) -> str:
+        return (f"ArrayNetworkLink({self.name!r}, "
+                f"ready={len(self._ready)}, "
+                f"in_flight={len(self._in_rows)})")

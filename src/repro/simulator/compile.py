@@ -1,18 +1,34 @@
-"""Compile stencil ASTs to fast per-cell Python callables.
+"""Compile stencil ASTs to fast callables (per-cell and per-batch).
 
 The cycle-level simulator evaluates stencil code once per cell; walking
 the AST per cell is prohibitively slow, so each stencil is compiled once
-to a Python lambda over its access values.
+to a Python lambda over its access values ("cell" mode).
 
-The compiled function takes the values of the stencil's distinct field
-accesses (in a fixed order) plus the cell's index coordinates, and
-returns the output value.
+The batched engine evaluates whole word-batches at once: "array" mode
+(:class:`ArrayCompiledStencil`) applies the same expression to NumPy
+arrays of access values.  Array mode is engineered to be *bitwise
+identical* to cell mode on float64 lanes, replicating cell mode's quirks
+exactly:
+
+* division uses the same IEEE-flavoured ``_div`` semantics (finite/0 is
+  a signed inf, 0/0 is nan) instead of raising;
+* ``min``/``max`` follow Python's comparison-chain semantics (the first
+  argument wins on NaN), not ``np.minimum``'s NaN propagation;
+* math-domain errors (``sqrt(-1)``, ``log(0)``, overflowing ``exp``)
+  poison the whole cell with NaN, exactly like the per-cell ``try``
+  around the compiled lambda — including the lazy-evaluation subtlety
+  that an error inside an *unselected* ternary branch (or short-circuit
+  operand) does not poison the cell;
+* transcendentals with no bit-exact NumPy twin are evaluated
+  element-wise through the very same ``math`` functions.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import CodeGenError
 from ..expr.ast_nodes import (
@@ -78,8 +94,20 @@ class CompiledStencil:
         return self.func(*access_values, i, j, k)
 
 
-def compile_stencil(ast: Expr) -> CompiledStencil:
-    """Compile an expression AST into a :class:`CompiledStencil`."""
+def compile_stencil(ast: Expr, mode: str = "cell"):
+    """Compile an expression AST.
+
+    Args:
+        ast: the stencil expression.
+        mode: ``"cell"`` returns a :class:`CompiledStencil` evaluating
+            one cell per call; ``"array"`` returns an
+            :class:`ArrayCompiledStencil` evaluating a whole batch of
+            cells per call with NumPy, bit-identical to cell mode.
+    """
+    if mode == "array":
+        return ArrayCompiledStencil(ast)
+    if mode != "cell":
+        raise CodeGenError(f"unknown compile mode {mode!r}")
     accesses = _distinct_accesses(ast)
     names = {access: f"_v{n}" for n, access in enumerate(accesses)}
     body = _emit(ast, names)
@@ -138,3 +166,328 @@ def _emit(node: Expr, names: Dict[FieldAccess, str]) -> str:
         args = ", ".join(_emit(a, names) for a in node.args)
         return f"{node.func}({args})"
     raise CodeGenError(f"cannot compile AST node {type(node).__name__}")
+
+
+# -- array mode --------------------------------------------------------------
+
+def _array_div(a, b):
+    """Vector twin of :func:`_div` (bit-identical on float64 lanes)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.true_divide(a, b)
+        zero = (b == 0)
+        if np.any(zero):
+            out = np.where(
+                zero,
+                np.where(a == 0, np.nan,
+                         np.copysign(np.inf, np.asarray(a, np.float64))),
+                out)
+    return out
+
+
+def _chain_min(args, ints):
+    """Python ``min(*args)`` semantics, element-wise: the running value
+    is replaced only when the challenger compares strictly less — so
+    NaNs win only in the first position, exactly like ``min``.  The
+    per-lane int-typedness follows the selected operand."""
+    out = np.asarray(args[0])
+    out_int = ints[0]
+    for challenger, challenger_int in zip(args[1:], ints[1:]):
+        take = np.less(challenger, out)
+        out = np.where(take, challenger, out)
+        out_int = _int_select(take, challenger_int, out_int)
+    return out, out_int
+
+
+def _chain_max(args, ints):
+    out = np.asarray(args[0])
+    out_int = ints[0]
+    for challenger, challenger_int in zip(args[1:], ints[1:]):
+        take = np.greater(challenger, out)
+        out = np.where(take, challenger, out)
+        out_int = _int_select(take, challenger_int, out_int)
+    return out, out_int
+
+
+def _merge_invalid(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+# Int-typedness tracking.  Cell mode computes with Python objects, so a
+# subexpression can be an *int* — and negating or multiplying integer
+# zeros never yields -0.0, while the float64 lanes of array mode would.
+# ``intish`` is None (no lane is int-typed), True (every lane is), or a
+# per-lane bool array (mixed, e.g. ``min(x, i)`` or ternaries).
+
+def _int_and(a, b):
+    """Lanes int-typed iff both operands are (int op int -> int)."""
+    if a is None or b is None:
+        return None
+    if a is True:
+        return b
+    if b is True:
+        return a
+    return a & b
+
+
+def _int_select(mask, a, b):
+    """Per-lane selection of int-typedness (ternary / min / max)."""
+    if a is None and b is None:
+        return None
+    if a is True and b is True:
+        return True
+    return np.where(mask,
+                    False if a is None else a,
+                    False if b is None else b)
+
+
+def _fix_int_zero(value, intish):
+    """Replace -0.0 with +0.0 on int-typed lanes: cell mode's integer
+    zeros are sign-less, so an int-typed lane can never carry -0.0."""
+    if intish is None:
+        return value
+    value = np.asarray(value)
+    if value.dtype.kind != "f":
+        return value
+    negative_zero = (value == 0) & np.signbit(value)
+    if intish is not True:
+        negative_zero = negative_zero & intish
+    if np.any(negative_zero):
+        value = np.where(negative_zero, 0.0, value)
+    return value
+
+
+#: Guarded element-wise fallbacks, keyed by (name, arity); see
+#: :func:`_guarded_ufunc`.
+_GUARDED_CACHE: Dict[Tuple[str, int], Callable] = {}
+
+
+def _guarded_ufunc(name: str, arity: int) -> Callable:
+    """An element-wise ufunc applying the *cell-mode* implementation of
+    ``name``, returning ``(value, raised)`` pairs: math-domain errors
+    become ``(nan, True)`` so the caller can poison those cells."""
+    try:
+        return _GUARDED_CACHE[(name, arity)]
+    except KeyError:
+        pass
+    func = _ENV_FUNCS[name]
+
+    def guard(*xs):
+        try:
+            value = func(*xs)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return math.nan, True
+        if isinstance(value, complex):
+            # pow(-x, fractional) promotes to complex in Python; cell
+            # mode poisons such cells too (complex results and the
+            # TypeErrors they cause are caught in _compute_cell).  Known
+            # corner: a complex compared with == (which does not raise)
+            # inside a ternary condition stays non-poisoned in cell mode.
+            return math.nan, True
+        return value, False
+
+    ufunc = np.frompyfunc(guard, arity, 2)
+    _GUARDED_CACHE[(name, arity)] = ufunc
+    return ufunc
+
+
+def _array_call(name: str, args: list, ints: list, invalid):
+    """Evaluate ``name(*args)`` over arrays with cell-mode semantics.
+
+    A small whitelist maps to NumPy ufuncs that are bit-identical to the
+    ``math`` originals (IEEE-exact operations), with explicit masks for
+    the inputs on which the ``math`` version would raise; everything
+    else goes through the guarded element-wise fallback.  Returns
+    ``(value, invalid, intish)``.
+    """
+    with np.errstate(all="ignore"):
+        if name == "sqrt":
+            (x,) = args
+            return (np.sqrt(x), _merge_invalid(invalid, np.less(x, 0)),
+                    None)
+        if name in ("fabs", "abs"):
+            # Python abs() preserves int-ness.
+            return np.abs(args[0]), invalid, ints[0]
+        if name in ("floor", "ceil"):
+            (x,) = args
+            impl = np.floor if name == "floor" else np.ceil
+            # math.floor/ceil raise on nan/inf (int conversion).
+            bad = ~np.isfinite(np.asarray(x, dtype=np.float64))
+            # math.floor/ceil return a (sign-less) int where NumPy
+            # keeps -0.0 (e.g. ceil(-0.5)); adding +0.0 normalizes the
+            # zero sign and leaves every other value bit-identical.
+            return impl(x) + 0.0, _merge_invalid(invalid, bad), True
+        if name == "fmod":
+            a, b = args
+            # math.fmod raises only when the result would be NaN with
+            # neither argument NaN (inf numerator or zero divisor).
+            a64 = np.asarray(a, dtype=np.float64)
+            b64 = np.asarray(b, dtype=np.float64)
+            bad = ((np.isinf(a64) | (b64 == 0))
+                   & ~np.isnan(a64) & ~np.isnan(b64))
+            return np.fmod(a, b), _merge_invalid(invalid, bad), None
+        if name in ("min", "fmin"):
+            value, intish = _chain_min(args, ints)
+            return value, invalid, intish
+        if name in ("max", "fmax"):
+            value, intish = _chain_max(args, ints)
+            return value, invalid, intish
+        value, raised = _guarded_ufunc(name, len(args))(*args)
+        # All-scalar arguments make frompyfunc return plain scalars.
+        value = np.asarray(value, dtype=np.float64)
+        raised = np.asarray(raised, dtype=bool)
+        if raised.any():
+            invalid = _merge_invalid(invalid, raised)
+        # Of the fallback functions only round() returns Python ints.
+        return value, invalid, (True if name == "round" else None)
+
+
+def _truthy(x):
+    """Element-wise Python truthiness (NaN is truthy, like ``bool(nan)``)."""
+    return np.asarray(x) != 0
+
+
+def _aeval(node: Expr, env: Mapping):
+    """Evaluate ``node`` over arrays: ``(value, invalid, intish)``.
+
+    ``invalid`` marks lanes where cell mode would have raised inside the
+    per-cell ``try`` — those cells must come out as NaN.  Laziness is
+    emulated precisely: a ternary only propagates the invalid mask of the
+    branch it selects, and short-circuit operators only propagate the
+    right operand's mask where the left operand would have let it run.
+    ``intish`` tracks which lanes cell mode computes as Python ints
+    (sign-less zeros; see :func:`_fix_int_zero`).
+    """
+    if isinstance(node, Literal):
+        return node.value, None, \
+            (True if isinstance(node.value, int) else None)
+    if isinstance(node, IndexVar):
+        return env[node.name], None, True
+    if isinstance(node, FieldAccess):
+        return env[node], None, None
+    if isinstance(node, BinaryOp):
+        left, linv, lint = _aeval(node.left, env)
+        right, rinv, rint = _aeval(node.right, env)
+        op = node.op
+        if op == "&&":
+            ltruth = _truthy(left)
+            if rinv is not None:
+                rinv = ltruth & rinv
+            return ((ltruth & _truthy(right)),
+                    _merge_invalid(linv, rinv), True)
+        if op == "||":
+            ltruth = _truthy(left)
+            if rinv is not None:
+                rinv = ~ltruth & rinv
+            return ((ltruth | _truthy(right)),
+                    _merge_invalid(linv, rinv), True)
+        invalid = _merge_invalid(linv, rinv)
+        if op == "/":
+            return _array_div(left, right), invalid, None
+        with np.errstate(all="ignore"):
+            if op == "+":
+                return left + right, invalid, _int_and(lint, rint)
+            if op == "-":
+                return left - right, invalid, _int_and(lint, rint)
+            if op == "*":
+                # int * int keeps sign-less zeros in cell mode, while
+                # float64 honors (-x) * 0 == -0.0.
+                intish = _int_and(lint, rint)
+                return _fix_int_zero(left * right, intish), invalid, \
+                    intish
+            if op == "<":
+                return np.less(left, right), invalid, True
+            if op == ">":
+                return np.greater(left, right), invalid, True
+            if op == "<=":
+                return np.less_equal(left, right), invalid, True
+            if op == ">=":
+                return np.greater_equal(left, right), invalid, True
+            if op == "==":
+                return np.equal(left, right), invalid, True
+            if op == "!=":
+                return np.not_equal(left, right), invalid, True
+        raise CodeGenError(f"cannot compile binary operator {op!r}")
+    if isinstance(node, UnaryOp):
+        value, invalid, intish = _aeval(node.operand, env)
+        if node.op == "-":
+            value = np.asarray(value)
+            if value.dtype == bool:  # NumPy forbids -bool; Python: -1/0
+                value = value.astype(np.int64)
+            return _fix_int_zero(np.negative(value), intish), invalid, \
+                intish
+        if node.op == "!":
+            return ~_truthy(value), invalid, True
+        raise CodeGenError(f"cannot compile unary operator {node.op!r}")
+    if isinstance(node, Ternary):
+        cond, cinv, _cint = _aeval(node.cond, env)
+        then, tinv, tint = _aeval(node.then, env)
+        orelse, einv, eint = _aeval(node.orelse, env)
+        chosen = _truthy(cond)
+        value = np.where(chosen, then, orelse)
+        if tinv is not None or einv is not None:
+            branch = np.where(
+                chosen,
+                tinv if tinv is not None else False,
+                einv if einv is not None else False).astype(bool)
+            cinv = _merge_invalid(cinv, branch)
+        return value, cinv, _int_select(chosen, tint, eint)
+    if isinstance(node, Call):
+        values = []
+        ints = []
+        invalid = None
+        for arg in node.args:
+            value, inv, intish = _aeval(arg, env)
+            values.append(value)
+            ints.append(intish)
+            invalid = _merge_invalid(invalid, inv)
+        return _array_call(node.func, values, ints, invalid)
+    raise CodeGenError(f"cannot compile AST node {type(node).__name__}")
+
+
+class ArrayCompiledStencil:
+    """A stencil expression evaluated over whole batches of cells.
+
+    Attributes:
+        accesses: the distinct :class:`FieldAccess` nodes in the same
+            deterministic order as cell mode — the positional arguments
+            of :meth:`__call__`.
+    """
+
+    __slots__ = ("accesses", "ast")
+
+    def __init__(self, ast: Expr):
+        self.ast = ast
+        self.accesses: Tuple[FieldAccess, ...] = \
+            tuple(_distinct_accesses(ast))
+
+    def __call__(self, access_values: Sequence[np.ndarray],
+                 coords: Sequence[np.ndarray]) -> np.ndarray:
+        """Evaluate over ``n`` cells.
+
+        Args:
+            access_values: one ``(n,)`` float64 array per access, in
+                :attr:`accesses` order.
+            coords: per-dimension ``(n,)`` index arrays (i, j, k order;
+                trailing dimensions default to 0 like cell mode).
+
+        Returns:
+            ``(n,)`` float64 results, bit-identical to calling the cell
+            compiled form lane by lane.
+        """
+        env: Dict[object, object] = dict(zip(self.accesses, access_values))
+        for axis, name in enumerate(_INDEX_ARGS):
+            env[name] = coords[axis] if axis < len(coords) else 0
+        value, invalid, _intish = _aeval(self.ast, env)
+        n = len(access_values[0]) if len(access_values) else len(coords[0])
+        out = np.asarray(value, dtype=np.float64)
+        if out.shape != (n,):
+            out = np.broadcast_to(out, (n,)).copy()
+        if invalid is not None and invalid.any():
+            out = np.where(invalid, np.nan, out)
+        return out

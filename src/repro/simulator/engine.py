@@ -9,6 +9,11 @@ This machine is the reproduction's stand-in for the paper's FPGA: the
 performance model ``C = L + I·N`` (Eq. 1), the deadlock behaviour of
 Fig. 4, and the delay-buffer sizing of Sec. IV-B are all observable (and
 tested) against it.
+
+:class:`Simulator` here is the scalar reference engine;
+:mod:`repro.simulator.batched` provides the NumPy batched engine with
+identical observable behaviour, selected via
+:attr:`SimulatorConfig.engine_mode` (the default ``"auto"`` prefers it).
 """
 
 from __future__ import annotations
@@ -69,6 +74,15 @@ class SimulatorConfig:
         min_channel_depth: capacity added on top of each edge's computed
             delay buffer (hardware FIFOs have a minimum depth; Intel
             channels default to a small number of words).
+        engine_mode: ``"scalar"`` steps the machine cycle by cycle;
+            ``"batched"`` uses the NumPy batched engine
+            (:class:`~repro.simulator.batched.BatchedSimulator`), which
+            produces identical observable state at a fraction of the
+            cost; ``"auto"`` picks the batched engine unless the
+            configuration would defeat batching (fractional link rates).
+        max_batch_words: upper bound on how many words the batched
+            engine executes per planning step (bounds its transient
+            memory; no effect on results).
         max_cycles: hard cap, guards against livelock in tests. ``None``
             derives a generous cap from the expected cycle count.
         deadlock_window: consecutive zero-progress cycles after which a
@@ -86,6 +100,8 @@ class SimulatorConfig:
     channel_capacities: Optional[Mapping[ChannelKey, int]] = None
     network_latency: int = 32
     network_words_per_cycle: float = 1.0
+    engine_mode: str = "auto"
+    max_batch_words: int = 32768
 
 
 class Simulator:
@@ -122,19 +138,7 @@ class Simulator:
         return (self._device_of_node(src) != self._device_of_node(dst))
 
     def _device_of_node(self, node_id: str) -> int:
-        node = self.graph.node(node_id)
-        if node.kind == "stencil":
-            return self.device_of.get(node.name, 0)
-        # Memory nodes live with the (first) stencil they feed/drain.
-        if node.kind == "input":
-            consumers = self.graph.successors(node_id)
-            if consumers:
-                return self._device_of_node(consumers[0])
-            return 0
-        producers = self.graph.predecessors(node_id)
-        if producers:
-            return self._device_of_node(producers[0])
-        return 0
+        return _node_device(self.graph, node_id, self.device_of)
 
     def _capacity(self, key: ChannelKey) -> int:
         overrides = self.config.channel_capacities
@@ -143,6 +147,27 @@ class Simulator:
         buffer = self.analysis.delay_buffers.get(key)
         size = buffer.size if buffer is not None else 0
         return size + self.config.min_channel_depth
+
+    # -- construction hooks (overridden by the batched engine) ---------------
+
+    def _make_channel(self, name: str, capacity: int):
+        return Channel(name, capacity)
+
+    def _make_link(self, name: str, capacity: int):
+        config = self.config
+        return NetworkLink(name, capacity,
+                           latency=config.network_latency,
+                           words_per_cycle=config.network_words_per_cycle)
+
+    def _make_source(self, name: str, data: np.ndarray, outs):
+        return SourceUnit(name, data, self.program.vectorization, outs)
+
+    def _make_stencil(self, stencil, ins, outs, latency: int):
+        return StencilUnit(self.program, stencil, ins, outs, latency)
+
+    def _make_sink(self, name: str, channel, dtype):
+        return SinkUnit(name, channel, self.program.shape,
+                        self.program.vectorization, dtype)
 
     def _build(self, inputs: Mapping[str, np.ndarray]):
         program = self.program
@@ -155,16 +180,13 @@ class Simulator:
             if self._edge_is_remote(edge.src, edge.dst):
                 # Remote streams need credits covering the wire latency
                 # on top of the computed delay buffer.
-                link = NetworkLink(
-                    name, capacity + config.network_latency,
-                    latency=config.network_latency,
-                    words_per_cycle=config.network_words_per_cycle)
+                link = self._make_link(
+                    name, capacity + config.network_latency)
                 self.channels[key] = link
                 self.links.append(link)
             else:
-                self.channels[key] = Channel(name, capacity)
+                self.channels[key] = self._make_channel(name, capacity)
 
-        width = program.vectorization
         index_names = program.index_names
         for name, spec in program.inputs.items():
             node_id = f"input:{name}"
@@ -179,7 +201,7 @@ class Simulator:
             full = _broadcast(data, spec.dims, program.shape, index_names)
             outs = [self.channels[(e.src, e.dst, e.data)]
                     for e in graph.out_edges(node_id)]
-            source = SourceUnit(name, full, width, outs)
+            source = self._make_source(name, full, outs)
             self.sources[name] = source
             self.units.append(source)
 
@@ -191,29 +213,58 @@ class Simulator:
             outs = [self.channels[(e.src, e.dst, e.data)]
                     for e in graph.out_edges(node_id)]
             latency = self.analysis.node_delays[node_id].compute_cycles
-            self.units.append(StencilUnit(
-                program, stencil, ins, outs, latency))
+            self.units.append(self._make_stencil(stencil, ins, outs,
+                                                 latency))
 
         for out in program.outputs:
             node_id = f"output:{out}"
             (edge,) = graph.in_edges(node_id)
             channel = self.channels[(edge.src, edge.dst, edge.data)]
-            sink = SinkUnit(out, channel, program.shape, width,
-                            program.field_dtype(out).numpy)
+            sink = self._make_sink(out, channel,
+                                   program.field_dtype(out).numpy)
             self.sinks[out] = sink
             self.units.append(sink)
 
     # -- main loop -----------------------------------------------------------
 
+    def _expected_cycles(self) -> int:
+        return (self.analysis.pipeline_latency
+                + self.program.num_cells // self.program.vectorization)
+
+    def _max_cycles(self, expected: int) -> int:
+        if self.config.max_cycles is not None:
+            return self.config.max_cycles
+        return 64 * expected + 100_000
+
+    def _collect_result(self, cycles: int) -> SimulationResult:
+        """Assemble the result record from terminal machine state (shared
+        by the scalar, tracing, and batched engines)."""
+        outputs = {name: sink.data for name, sink in self.sinks.items()}
+        stalls = {u.name: getattr(u, "stall_cycles", 0) for u in self.units}
+        steady = {u.name: u.stall_after_init for u in self.units
+                  if hasattr(u, "stall_after_init")}
+        occupancy = {c.name: c.max_occupancy
+                     for c in self.channels.values()}
+        return SimulationResult(
+            outputs=outputs,
+            cycles=cycles,
+            expected_cycles=self._expected_cycles(),
+            stall_cycles=stalls,
+            steady_stall_cycles=steady,
+            channel_occupancy=occupancy,
+            output_continuous={name: sink.streamed_continuously
+                               for name, sink in self.sinks.items()},
+            stencil_continuous={u.name: u.streamed_continuously
+                                for u in self.units
+                                if hasattr(u, "stall_after_init")},
+        )
+
     def run(self, inputs: Mapping[str, np.ndarray]) -> SimulationResult:
         """Simulate to completion. Raises :class:`DeadlockError` if the
         machine wedges, :class:`SimulationError` on cycle-cap overrun."""
         self._build(inputs)
-        expected = (self.analysis.pipeline_latency
-                    + self.program.num_cells // self.program.vectorization)
-        max_cycles = self.config.max_cycles
-        if max_cycles is None:
-            max_cycles = 64 * expected + 100_000
+        expected = self._expected_cycles()
+        max_cycles = self._max_cycles(expected)
         now = 0
         idle_streak = 0
         while not all(u.done for u in self.units):
@@ -234,34 +285,85 @@ class Simulator:
                 in_flight = sum(len(link) for link in self.links)
                 if idle_streak >= self.config.deadlock_window and \
                         in_flight == 0:
-                    blocked = [(u.name, u.describe_block())
-                               for u in self.units if not u.done]
-                    detail = "; ".join(f"{n}: {r}" for n, r in blocked)
-                    raise DeadlockError(
-                        f"deadlock at cycle {now}: {detail}",
-                        cycle=now,
-                        blocked_units=tuple(n for n, _ in blocked))
+                    raise deadlock_error(self.units, now)
             now += 1
 
-        outputs = {name: sink.data for name, sink in self.sinks.items()}
-        stalls = {u.name: getattr(u, "stall_cycles", 0) for u in self.units}
-        steady = {u.name: u.stall_after_init for u in self.units
-                  if isinstance(u, StencilUnit)}
-        occupancy = {c.name: c.max_occupancy
-                     for c in self.channels.values()}
-        return SimulationResult(
-            outputs=outputs,
-            cycles=now,
-            expected_cycles=expected,
-            stall_cycles=stalls,
-            steady_stall_cycles=steady,
-            channel_occupancy=occupancy,
-            output_continuous={name: sink.streamed_continuously
-                               for name, sink in self.sinks.items()},
-            stencil_continuous={u.name: u.streamed_continuously
-                                for u in self.units
-                                if isinstance(u, StencilUnit)},
-        )
+        return self._collect_result(now)
+
+
+def deadlock_error(units, now: int, prefix: str = None) -> DeadlockError:
+    """Build the standard deadlock diagnostic from blocked units."""
+    blocked = [(u.name, u.describe_block()) for u in units if not u.done]
+    detail = "; ".join(f"{n}: {r}" for n, r in blocked)
+    if prefix is None:
+        prefix = f"deadlock at cycle {now}: "
+    return DeadlockError(prefix + detail, cycle=now,
+                         blocked_units=tuple(n for n, _ in blocked))
+
+
+def _has_integer_fields(program: StencilProgram) -> bool:
+    """Whether any data container carries an integer element type.
+
+    The batched engine streams float64 slabs, which are only bit-exact
+    for integers up to 2**53 — integer programs keep the scalar engine
+    under ``"auto"``.
+    """
+    if any(spec.dtype.is_integer for spec in program.inputs.values()):
+        return True
+    return any(program.field_dtype(s.name).is_integer
+               for s in program.stencils)
+
+
+def resolve_engine_mode(config: SimulatorConfig,
+                        device_of: Optional[Mapping[str, int]] = None,
+                        program: Optional[StencilProgram] = None
+                        ) -> str:
+    """Resolve ``config.engine_mode`` to a concrete engine name.
+
+    ``"auto"`` prefers the batched engine; it falls back to the scalar
+    engine when fractional network rates would force the batched engine
+    to step cycle-by-cycle anyway (batched fractional-rate links are a
+    known follow-up, see ROADMAP), and for integer-typed programs,
+    where float64 slabs could not preserve bitwise equivalence beyond
+    2**53.
+    """
+    mode = config.engine_mode
+    if mode not in ("auto", "scalar", "batched"):
+        raise ValidationError(
+            f"unknown engine_mode {mode!r} "
+            f"(expected 'auto', 'scalar', or 'batched')")
+    if mode != "auto":
+        return mode
+    if device_of and config.network_words_per_cycle != 1.0:
+        # Only an actually-remote edge creates a fractional-rate link;
+        # without the program we must assume one exists.
+        if program is None or _any_remote_edge(program, device_of):
+            return "scalar"
+    if program is not None and _has_integer_fields(program):
+        return "scalar"
+    return "batched"
+
+
+def _any_remote_edge(program: StencilProgram,
+                     device_of: Mapping[str, int]) -> bool:
+    graph = StencilGraph(program)
+    return any(
+        _node_device(graph, edge.src, device_of)
+        != _node_device(graph, edge.dst, device_of)
+        for edge in graph.edges)
+
+
+def make_simulator(analysis, config: SimulatorConfig = None,
+                   device_of: Optional[Mapping[str, int]] = None
+                   ) -> Simulator:
+    """Construct the simulator selected by ``config.engine_mode``."""
+    config = config or SimulatorConfig()
+    program = analysis.program if isinstance(analysis, BufferingAnalysis) \
+        else analysis
+    if resolve_engine_mode(config, device_of, program) == "batched":
+        from .batched import BatchedSimulator
+        return BatchedSimulator(analysis, config, device_of=device_of)
+    return Simulator(analysis, config, device_of=device_of)
 
 
 def simulate(program: StencilProgram,
@@ -283,7 +385,7 @@ def simulate(program: StencilProgram,
                 edge_latency[(edge.src, edge.dst, edge.data)] = \
                     cfg.network_latency
     analysis = analyze_buffers(program, edge_latency=edge_latency)
-    simulator = Simulator(analysis, config, device_of=device_map)
+    simulator = make_simulator(analysis, config, device_of=device_map)
     return simulator.run(inputs)
 
 

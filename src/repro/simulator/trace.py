@@ -13,8 +13,13 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..core.program import StencilProgram
-from .engine import SimulationResult, Simulator, SimulatorConfig
-from .units import SinkUnit, SourceUnit, StencilUnit
+from ..errors import SimulationError
+from .engine import (
+    SimulationResult,
+    Simulator,
+    SimulatorConfig,
+    deadlock_error,
+)
 
 
 @dataclass
@@ -75,12 +80,10 @@ class TracingSimulator(Simulator):
             trace.progress[unit.name] = []
             counters[unit.name] = 0
 
-        expected = (self.analysis.pipeline_latency
-                    + self.program.num_cells // self.program.vectorization)
-        max_cycles = self.config.max_cycles or (64 * expected + 100_000)
+        expected = self._expected_cycles()
+        max_cycles = self._max_cycles(expected)
         now = 0
         idle_streak = 0
-        from ..errors import DeadlockError, SimulationError
         while not all(u.done for u in self.units):
             if now >= max_cycles:
                 raise SimulationError(
@@ -105,33 +108,11 @@ class TracingSimulator(Simulator):
                 in_flight = sum(len(link) for link in self.links)
                 if idle_streak >= self.config.deadlock_window \
                         and in_flight == 0:
-                    blocked = [(u.name, u.describe_block())
-                               for u in self.units if not u.done]
-                    raise DeadlockError(
-                        "deadlock (traced): "
-                        + "; ".join(f"{n}: {r}" for n, r in blocked),
-                        cycle=now,
-                        blocked_units=tuple(n for n, _r in blocked))
+                    raise deadlock_error(self.units, now,
+                                         prefix="deadlock (traced): ")
             now += 1
 
-        outputs = {name: sink.data for name, sink in self.sinks.items()}
-        return SimulationResult(
-            outputs=outputs,
-            cycles=now,
-            expected_cycles=expected,
-            stall_cycles={u.name: getattr(u, "stall_cycles", 0)
-                          for u in self.units},
-            steady_stall_cycles={u.name: u.stall_after_init
-                                 for u in self.units
-                                 if isinstance(u, StencilUnit)},
-            channel_occupancy={c.name: c.max_occupancy
-                               for c in self.channels.values()},
-            output_continuous={n: s.streamed_continuously
-                               for n, s in self.sinks.items()},
-            stencil_continuous={u.name: u.streamed_continuously
-                                for u in self.units
-                                if isinstance(u, StencilUnit)},
-        )
+        return self._collect_result(now)
 
 
 def simulate_traced(program: StencilProgram,

@@ -24,12 +24,47 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.boundary import BoundaryConditions
-from ..core.fields import flatten_offset
+from ..core.fields import flatten_offset, row_major_strides, unflatten_index
 from ..core.program import StencilDefinition, StencilProgram
 from ..errors import SimulationError
+from .channel import RateLimiter
 from .compile import CompiledStencil, compile_stencil
 
 Word = Tuple[float, ...]
+
+
+def schedule_reads(domain: Tuple[int, ...], width: int,
+                   index_names: Sequence[str], accesses,
+                   fields: Sequence[str]):
+    """Per-access and per-field streaming schedule of a stencil unit.
+
+    Shared by the scalar and batched stencil units — the engines'
+    equivalence invariant depends on both deriving the identical
+    schedule.
+
+    Returns ``(access_info, readahead, init_words, pop_start,
+    min_flat)`` where ``access_info`` is a list of ``(access,
+    full_offset, flat_offset)`` triples, ``readahead`` the per-field
+    forward reach in words, ``init_words`` the unit's fill phase,
+    ``pop_start`` the per-field step at which popping begins, and
+    ``min_flat`` the furthest-back flattened offset per field.
+    """
+    access_info = []
+    for access in accesses:
+        by_dim = dict(zip(access.dims, access.offsets))
+        full = tuple(by_dim.get(d, 0) for d in index_names)
+        access_info.append((access, full, flatten_offset(full, domain)))
+    readahead: Dict[str, int] = {}
+    min_flat: Dict[str, int] = {}
+    for field in fields:
+        flats = [flat for access, _full, flat in access_info
+                 if access.field == field]
+        max_flat = max(flats) if flats else 0
+        readahead[field] = max(0, -(-max(0, max_flat) // width))
+        min_flat[field] = min(flats) if flats else 0
+    init_words = max(readahead.values(), default=0)
+    pop_start = {f: init_words - readahead[f] for f in fields}
+    return access_info, readahead, init_words, pop_start, min_flat
 
 
 class Unit:
@@ -66,22 +101,27 @@ class SourceUnit(Unit):
             raise SimulationError(
                 f"source {name!r}: size {flat.size} not divisible by "
                 f"W={vector_width}")
-        self.words: List[Word] = [
-            tuple(flat[w * vector_width:(w + 1) * vector_width].tolist())
-            for w in range(flat.size // vector_width)]
+        # Words are sliced lazily from the flat array: materializing a
+        # Python tuple per word up front is O(cells) allocation before
+        # the machine has simulated a single cycle.
+        self._flat = flat
+        self.width = vector_width
+        self.num_words = flat.size // vector_width
         self.out_channels = list(out_channels)
         self.next_word = 0
         self.stall_cycles = 0
-        self._credit = 0.0
-        self.words_per_cycle = words_per_cycle
+        self._limiter = RateLimiter(words_per_cycle)
         self._block = ""
+
+    @property
+    def words_per_cycle(self) -> float:
+        return self._limiter.rate
 
     def step(self, now: int) -> bool:
         if self.done:
             return False
-        self._credit = min(self._credit + self.words_per_cycle,
-                           max(self.words_per_cycle, 1.0))
-        if self._credit < 1.0:
+        self._limiter.refill()
+        if not self._limiter.ready:
             self._block = "bandwidth throttled"
             return False
         blocked = [c.name for c in self.out_channels if c.full]
@@ -89,22 +129,70 @@ class SourceUnit(Unit):
             self.stall_cycles += 1
             self._block = f"output full: {blocked}"
             return False
-        word = self.words[self.next_word]
+        word = self._materialize_word()
         for channel in self.out_channels:
             channel.push(word)
         self.next_word += 1
-        self._credit -= 1.0
+        self._limiter.spend()
         return True
+
+    def _materialize_word(self):
+        """The next word in pushable form (hook for the batched engine,
+        whose channels carry NumPy rows instead of tuples)."""
+        base = self.next_word * self.width
+        return tuple(self._flat[base:base + self.width].tolist())
 
     @property
     def done(self) -> bool:
-        return self.next_word >= len(self.words)
+        return self.next_word >= self.num_words
 
     def describe_block(self) -> str:
         return self._block
 
 
-class StencilUnit(Unit):
+class StencilBookkeeping:
+    """Stall and streaming-continuity accounting shared by the scalar
+    and batched stencil units.
+
+    This bookkeeping is load-bearing for the engines' equivalence
+    invariant (stall counters and continuity flags must match exactly),
+    so both unit implementations draw it from here.
+    """
+
+    def _note_stall(self, reason: str):
+        self.stall_cycles += 1
+        if self.local_step >= self.init_words:
+            self.stall_after_init += 1
+        self._block = reason
+
+    def _mark_pushed(self, now: int, count: int):
+        """Record ``count`` consecutive output words leaving, the last
+        at cycle ``now + count - 1``."""
+        if self.first_push_cycle is None:
+            self.first_push_cycle = now
+        self.last_push_cycle = now + count - 1
+        self.words_pushed += count
+
+    @property
+    def streamed_continuously(self) -> bool:
+        """True when every output word left in consecutive cycles —
+        the pipeline never hiccuped once streaming began."""
+        if self.first_push_cycle is None:
+            return False
+        return (self.last_push_cycle - self.first_push_cycle
+                == self.words_pushed - 1)
+
+    def needed_fields(self) -> List[str]:
+        """Fields whose pop window covers the current local step."""
+        return [f for f in self.fields
+                if self.pop_start[f] <= self.local_step
+                < self.pop_start[f] + self.num_words]
+
+    def describe_block(self) -> str:
+        return self._block
+
+
+class StencilUnit(StencilBookkeeping, Unit):
     """One pipelined stencil operator."""
 
     def __init__(self, program: StencilProgram,
@@ -126,38 +214,20 @@ class StencilUnit(Unit):
         self.num_cells = program.num_cells
         self.num_words = self.num_cells // width
 
-        # Per-access precomputation: full-domain offset vector, flattened
-        # linear offset, and whether the access can ever leave the domain.
+        # Per-access precomputation (full-domain offset vectors, linear
+        # offsets) and the per-field read-ahead / fill-start schedule.
         self.compiled: CompiledStencil = compile_stencil(stencil.ast)
-        index_names = program.index_names
-        self.access_info = []
-        for access in self.compiled.accesses:
-            by_dim = dict(zip(access.dims, access.offsets))
-            full = tuple(by_dim.get(d, 0) for d in index_names)
-            self.access_info.append(
-                (access, full, flatten_offset(full, domain)))
-
-        # Per-field schedule: read-ahead (words) and fill start (steps).
         fields = sorted(self.in_channels)
-        readahead: Dict[str, int] = {}
-        for field in fields:
-            flats = [flat for access, _full, flat in self.access_info
-                     if access.field == field]
-            max_flat = max(flats) if flats else 0
-            readahead[field] = max(0, -(-max(0, max_flat) // width))
-        self.init_words = max(readahead.values(), default=0)
-        self.pop_start = {f: self.init_words - readahead[f] for f in fields}
+        (self.access_info, _readahead, self.init_words, self.pop_start,
+         self.min_flat) = schedule_reads(
+            domain, width, program.index_names, self.compiled.accesses,
+            fields)
         self.fields = fields
 
         # Streaming state.
         self.local_step = 0
         self.buffers: Dict[str, Dict[int, float]] = {f: {} for f in fields}
         self.evict_next: Dict[str, int] = {f: 0 for f in fields}
-        self.min_flat: Dict[str, int] = {}
-        for field in fields:
-            flats = [flat for access, _full, flat in self.access_info
-                     if access.field == field]
-            self.min_flat[field] = min(flats) if flats else 0
         self.latency_line: Deque[Tuple[int, Word]] = deque()
         self.line_capacity = self.compute_latency + 1
         self.stall_cycles = 0
@@ -166,7 +236,7 @@ class StencilUnit(Unit):
         self.last_push_cycle: Optional[int] = None
         self.words_pushed = 0
         self._block = ""
-        self._strides = _strides(domain)
+        self._strides = row_major_strides(domain)
 
         boundary = stencil.boundary
         self.shrink = boundary.shrink
@@ -180,9 +250,7 @@ class StencilUnit(Unit):
         if self.local_step >= self.init_words + self.num_words:
             return progressed
         # Which fields must deliver a word this step?
-        needed = [f for f in self.fields
-                  if self.pop_start[f] <= self.local_step
-                  < self.pop_start[f] + self.num_words]
+        needed = self.needed_fields()
         empty = [f for f in needed if self.in_channels[f].empty]
         if empty:
             self._note_stall(f"waiting on input(s) {empty}")
@@ -213,26 +281,8 @@ class StencilUnit(Unit):
         self.latency_line.popleft()
         for channel in self.out_channels:
             channel.push(word)
-        if self.first_push_cycle is None:
-            self.first_push_cycle = now
-        self.last_push_cycle = now
-        self.words_pushed += 1
+        self._mark_pushed(now, 1)
         return True
-
-    @property
-    def streamed_continuously(self) -> bool:
-        """True when every output word left in consecutive cycles —
-        the pipeline never hiccuped once streaming began."""
-        if self.first_push_cycle is None:
-            return False
-        return (self.last_push_cycle - self.first_push_cycle
-                == self.words_pushed - 1)
-
-    def _note_stall(self, reason: str):
-        self.stall_cycles += 1
-        if self.local_step >= self.init_words:
-            self.stall_after_init += 1
-        self._block = reason
 
     def _compute_word(self, word_index: int) -> Word:
         width = self.width
@@ -244,7 +294,7 @@ class StencilUnit(Unit):
         return tuple(values)
 
     def _compute_cell(self, t: int) -> float:
-        coords = _unflatten(t, self._strides, self.domain)
+        coords = unflatten_index(t, self.domain, self._strides)
         args: List[float] = []
         for access, full, flat in self.access_info:
             in_bounds = True
@@ -264,9 +314,16 @@ class StencilUnit(Unit):
                 else:  # copy: the center value
                     args.append(self.buffers[access.field][t])
         try:
-            return self.compiled(args, coords)
-        except (ValueError, OverflowError):
+            value = self.compiled(args, coords)
+        except (ValueError, OverflowError, ZeroDivisionError, TypeError):
+            # Math-domain errors poison the cell: pow(0, -n) is the one
+            # zero-division the IEEE-flavoured _div cannot intercept,
+            # and TypeError arises when pow(negative, fractional)
+            # promotes to complex and hits a comparison.
             return math.nan
+        if isinstance(value, complex):
+            return math.nan
+        return value
 
     def _evict(self, word_index: int):
         """Drop buffered elements no future cell can access.
@@ -289,9 +346,6 @@ class StencilUnit(Unit):
     def done(self) -> bool:
         return (self.local_step >= self.init_words + self.num_words
                 and not self.latency_line)
-
-    def describe_block(self) -> str:
-        return self._block
 
 
 class SinkUnit(Unit):
@@ -349,19 +403,3 @@ class SinkUnit(Unit):
 
     def describe_block(self) -> str:
         return self._block
-
-
-def _strides(domain: Tuple[int, ...]) -> Tuple[int, ...]:
-    strides = [1] * len(domain)
-    for axis in range(len(domain) - 2, -1, -1):
-        strides[axis] = strides[axis + 1] * domain[axis + 1]
-    return tuple(strides)
-
-
-def _unflatten(t: int, strides: Tuple[int, ...],
-               domain: Tuple[int, ...]) -> Tuple[int, ...]:
-    coords = []
-    for stride in strides:
-        coords.append(t // stride)
-        t %= stride
-    return tuple(coords)

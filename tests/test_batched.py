@@ -1,0 +1,301 @@
+"""Unit tests for the batched engine's building blocks: the rate
+limiter, the NumPy ring channels/links, array-mode stencil compilation,
+and the array-slab units."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.expr import parse
+from repro.simulator import (
+    ArrayChannel,
+    ArrayNetworkLink,
+    BatchedSourceUnit,
+    Channel,
+    NetworkLink,
+    RateLimiter,
+    compile_stencil,
+)
+
+
+class TestRateLimiter:
+    def test_unit_rate_admits_every_cycle(self):
+        limiter = RateLimiter(1.0)
+        for _ in range(5):
+            limiter.refill()
+            assert limiter.ready
+            limiter.spend()
+
+    def test_fractional_rate(self):
+        limiter = RateLimiter(0.5)
+        admitted = 0
+        for _ in range(10):
+            limiter.refill()
+            if limiter.ready:
+                limiter.spend()
+                admitted += 1
+        assert admitted == 5
+
+    def test_credit_cap_allows_bursts(self):
+        # rate 3 caps at 3 credits: up to three words in one cycle.
+        limiter = RateLimiter(3.0)
+        limiter.refill()
+        burst = 0
+        while limiter.ready:
+            limiter.spend()
+            burst += 1
+        assert burst == 3
+
+    def test_credit_cap_is_one_for_subunit_rates(self):
+        # A 0.25 rate never accumulates more than one word of credit.
+        limiter = RateLimiter(0.25)
+        for _ in range(100):
+            limiter.refill()
+        assert limiter.credit == 1.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(SimulationError, match="positive"):
+            RateLimiter(0.0)
+
+
+def replay(channel, ops):
+    """Apply a push/pop script, returning the observed behaviour."""
+    seen = []
+    for op, value in ops:
+        if op == "push":
+            if channel.full:
+                seen.append(("full",))
+            else:
+                channel.push(value)
+        else:
+            if channel.empty:
+                seen.append(("empty",))
+            else:
+                seen.append(("pop", tuple(np.ravel(channel.pop()))))
+    return (seen, len(channel), channel.pushes, channel.pops,
+            channel.max_occupancy)
+
+
+class TestArrayChannel:
+    def test_matches_channel_semantics(self):
+        rng = np.random.default_rng(7)
+        ops = []
+        for n in range(200):
+            kind = "push" if rng.random() < 0.55 else "pop"
+            ops.append((kind, (float(n), float(-n))))
+        scalar = Channel("c", 5)
+        batched = ArrayChannel("c", 5, width=2, headroom=8)
+        assert replay(scalar, ops) == replay(batched, ops)
+
+    def test_slab_roundtrip_with_wraparound(self):
+        channel = ArrayChannel("c", 8, width=1, headroom=0)
+        total = []
+        for base in range(0, 40, 4):
+            rows = np.arange(base, base + 4, dtype=np.float64)
+            channel.write_rows(rows.reshape(4, 1))
+            total.extend(channel.read_rows(4).ravel().tolist())
+        assert total == list(range(40))
+
+    def test_record_batch_matches_scalar_replay(self):
+        # B cycles of push+pop must leave the same statistics as the
+        # scalar engine stepping the same pattern.
+        for consumer_first in (False, True):
+            for preload in (1, 3):
+                scalar = Channel("c", 6)
+                batched = ArrayChannel("c", 6, width=1, headroom=40)
+                for n in range(preload):
+                    scalar.push((float(n),))
+                    batched.push((float(n),))
+                cycles = 20
+                for _ in range(cycles):
+                    if consumer_first:
+                        scalar.pop()
+                        scalar.push((0.0,))
+                    else:
+                        scalar.push((0.0,))
+                        scalar.pop()
+                batched.record_batch(cycles, pushed=True, popped=True,
+                                     consumer_first=consumer_first)
+                batched.write_rows(np.zeros((cycles, 1)))
+                batched.read_rows(cycles)
+                assert len(batched) == len(scalar)
+                assert batched.pushes == scalar.pushes
+                assert batched.pops == scalar.pops
+                assert batched.max_occupancy == scalar.max_occupancy
+
+    def test_record_batch_growth_peak(self):
+        scalar = Channel("c", 10)
+        batched = ArrayChannel("c", 10, width=1, headroom=10)
+        for _ in range(7):
+            scalar.push((0.0,))
+        batched.record_batch(7, pushed=True, popped=False,
+                             consumer_first=False)
+        batched.write_rows(np.zeros((7, 1)))
+        assert batched.max_occupancy == scalar.max_occupancy == 7
+
+
+class TestArrayNetworkLink:
+    def test_matches_network_link(self):
+        rng = np.random.default_rng(3)
+        for rate in (1.0, 0.5):
+            scalar = NetworkLink("l", 12, latency=4, words_per_cycle=rate)
+            batched = ArrayNetworkLink("l", 12, width=1, latency=4,
+                                       words_per_cycle=rate)
+            log = []
+            counter = 0
+            for now in range(60):
+                scalar.step(now)
+                batched.step(now)
+                if rng.random() < 0.6 and not scalar.full:
+                    scalar.push((float(counter),))
+                    batched.push((float(counter),))
+                    counter += 1
+                if rng.random() < 0.5 and not scalar.empty:
+                    a = scalar.pop()
+                    b = batched.pop()
+                    log.append((a[0], float(b[0])))
+                assert len(scalar) == len(batched)
+                assert scalar.empty == batched.empty
+                assert scalar.full == batched.full
+            assert log and all(a == b for a, b in log)
+
+    def test_timely_prefix(self):
+        link = ArrayNetworkLink("l", 64, width=1, latency=2)
+        link.step(0)
+        link.push((1.0,))          # deliverable at cycle 2
+        link.step(1)
+        link.push((2.0,))          # deliverable at cycle 3
+        assert link.timely_prefix(1) == 0
+        assert link.timely_prefix(2) == 2   # times (2, 3) vs (2, 3)
+        link.step(10)              # delivers one word (rate limit)
+        link.push((3.0,))          # deliverable at 12: not timely at 10+1
+        assert link.timely_prefix(10) == 1
+
+    def test_deliver_rows(self):
+        link = ArrayNetworkLink("l", 64, width=1, latency=1)
+        link.write_rows(np.arange(3, dtype=np.float64).reshape(3, 1),
+                        np.array([1, 2, 3]))
+        assert link.in_flight_len == 3
+        link.deliver_rows(2)
+        assert link.in_flight_len == 1
+        assert link.read_rows(2).ravel().tolist() == [0.0, 1.0]
+
+
+class TestArrayCompile:
+    CASES = [
+        "a[i,j] * 2 + b[i,j]",
+        "a[i,j] / b[i,j]",
+        "a[i,j] > 0 ? sqrt(b[i,j]) : b[i,j]",
+        "min(a[i,j], b[i,j]) + max(a[i,j], 0.5)",
+        "exp(a[i,j] * 700)",
+        "log(a[i,j]) < 0 ? 1 : 2",
+        "a[i,j] && b[i,j] ? i * 10 + j : -a[i,j]",
+        "!(a[i,j] > b[i,j]) || a[i,j] == 0 ? fmod(a[i,j], b[i,j]) "
+        ": floor(b[i,j])",
+        "pow(a[i,j], b[i,j] * 400)",
+        "sin(a[i,j]) * cos(b[i,j]) + tanh(a[i,j] * b[i,j])",
+        "ceil(a[i,j]) - round(b[i,j]) + atan2(a[i,j], b[i,j])",
+        "a[i,j] + log(1.947)",  # literal-only call arguments
+        "atan2(ceil(a[i,j]), -1.0)",  # sign of ceil(-0.5)'s zero
+        "atan2(floor(a[i,j]) * 0.0, -1.0) - b[i,j]",
+        "atan2(-floor(a[i,j] * 0.1), -1.0)",  # negated int zero
+        "atan2(floor(a[i,j] * 0.1) * -3, -1.0)",  # int zero * negative
+        "atan2(-min(abs(a[i,j]), i), b[i,j])",  # mixed int/float min
+        "atan2(b[i,j] > 0 ? -round(a[i,j] * 0.1) : -0.0, -1.0)",
+        "fmod(a[i,j], 0.0 * a[i,j]) > 0.0 ? 1.0 : 2.0",  # inf % nan
+    ]
+
+    @staticmethod
+    def _lanes():
+        rng = np.random.default_rng(0)
+        n = 64
+        a = rng.standard_normal(n)
+        b = rng.standard_normal(n)
+        specials = [0.0, -0.0, np.nan, np.inf, -np.inf, 1.0, -1.0, 2.0]
+        a[:len(specials)] = specials
+        b[:len(specials)] = specials[::-1]
+        i = rng.integers(0, 4, n)
+        j = rng.integers(0, 4, n)
+        return n, {"a": a, "b": b}, i, j
+
+    @pytest.mark.parametrize("code", CASES)
+    def test_bitwise_matches_cell_mode(self, code):
+        dims = {"a": ("i", "j"), "b": ("i", "j")}
+        ast = parse(code, dims, ("i", "j"))
+        cell = compile_stencil(ast)
+        array = compile_stencil(ast, mode="array")
+        assert array.accesses == cell.accesses
+        n, fields, i, j = self._lanes()
+        reference = []
+        for lane in range(n):
+            args = [float(fields[acc.field][lane])
+                    for acc in cell.accesses]
+            try:
+                value = cell(args, (int(i[lane]), int(j[lane])))
+                if isinstance(value, complex):
+                    value = math.nan
+            except (ValueError, OverflowError, ZeroDivisionError):
+                value = math.nan
+            reference.append(value)
+        got = array([fields[acc.field] for acc in array.accesses], (i, j))
+        reference = np.asarray(reference, dtype=np.float64)
+        assert np.array_equal(reference, got, equal_nan=True), code
+        zeros = reference == 0
+        assert np.array_equal(np.signbit(reference[zeros]),
+                              np.signbit(got[zeros])), \
+            f"{code}: zero signs differ"
+
+    def test_lazy_ternary_does_not_poison(self):
+        # cell mode never evaluates the unselected branch; a would-raise
+        # call there must not poison the cell in array mode either.
+        ast = parse("a[i] > 0 ? log(a[i]) : 1", {"a": ("i",)}, ("i",))
+        array = compile_stencil(ast, mode="array")
+        out = array([np.array([-3.0, math.e])], (np.array([0, 1]),))
+        assert out[0] == 1.0
+        assert out[1] == 1.0  # log(e)
+
+    def test_selected_branch_error_poisons(self):
+        ast = parse("a[i] < 0 ? log(a[i]) : 1", {"a": ("i",)}, ("i",))
+        array = compile_stencil(ast, mode="array")
+        out = array([np.array([-3.0, 2.0])], (np.array([0, 1]),))
+        assert math.isnan(out[0])
+        assert out[1] == 1.0
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import CodeGenError
+        ast = parse("a[i]", {"a": ("i",)}, ("i",))
+        with pytest.raises(CodeGenError, match="mode"):
+            compile_stencil(ast, mode="quantum")
+
+
+class TestBatchedSourceUnit:
+    def test_slabs_match_lazy_tuple_stream(self):
+        data = np.arange(24, dtype=np.float32).reshape(6, 4)
+        channel = ArrayChannel("c", 64, width=2, headroom=16)
+        source = BatchedSourceUnit("a", data, 2, [channel])
+        assert source.num_words == 12
+        source.run_batch(0, 5)
+        source.run_batch(5, 7)
+        assert source.done
+        slab = channel.read_rows(12)
+        np.testing.assert_array_equal(
+            slab.ravel(), np.arange(24, dtype=np.float64))
+
+    def test_scalar_step_parity(self):
+        from repro.simulator import SourceUnit
+        data = np.arange(8, dtype=np.float32)
+        scalar_channel = Channel("c", 16)
+        array_channel = ArrayChannel("c", 16, width=1, headroom=4)
+        scalar = SourceUnit("a", data, 1, [scalar_channel])
+        batched = BatchedSourceUnit("a", data, 1, [array_channel])
+        for now in range(8):
+            assert scalar.step(now) == batched.step(now)
+        assert scalar.done and batched.done
+        assert scalar_channel.max_occupancy == array_channel.max_occupancy
+        scalar_words = [scalar_channel.pop() for _ in range(8)]
+        batched_words = array_channel.read_rows(8)
+        np.testing.assert_array_equal(
+            np.asarray(scalar_words, dtype=np.float64),
+            batched_words)

@@ -1,0 +1,375 @@
+"""Scalar vs batched engine equivalence.
+
+The batched engine's contract is *identical observable machine state at
+every stall point*: bitwise-equal outputs, and exactly equal cycle
+counts, stall counters, steady-state stall counters, channel occupancy
+high-water marks, and streaming-continuity flags.  This suite enforces
+the contract across the program catalog, boundary conditions,
+vectorization widths, multi-device placements, and failure modes
+(deadlock, cycle-cap overrun).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StencilProgram
+from repro.errors import DeadlockError, SimulationError, ValidationError
+from repro.programs import build, horizontal_diffusion
+from repro.simulator import (
+    BatchedSimulator,
+    SimulatorConfig,
+    resolve_engine_mode,
+    simulate,
+)
+from repro.simulator.engine import make_simulator
+from util import (
+    chain_program,
+    diamond_program,
+    edge_keys,
+    lst1_inputs,
+    lst1_program,
+    random_inputs,
+)
+
+#: SimulationResult fields that must match *exactly* between engines.
+_EXACT_FIELDS = (
+    "cycles",
+    "expected_cycles",
+    "stall_cycles",
+    "steady_stall_cycles",
+    "channel_occupancy",
+    "output_continuous",
+    "stencil_continuous",
+)
+
+
+def assert_equivalent(program, inputs, device_of=None, **config_kwargs):
+    scalar = simulate(program, inputs,
+                      SimulatorConfig(engine_mode="scalar",
+                                      **config_kwargs), device_of)
+    batched = simulate(program, inputs,
+                       SimulatorConfig(engine_mode="batched",
+                                       **config_kwargs), device_of)
+    assert scalar.outputs.keys() == batched.outputs.keys()
+    for name in scalar.outputs:
+        a, b = scalar.outputs[name], batched.outputs[name]
+        assert a.dtype == b.dtype, name
+        assert a.shape == b.shape, name
+        assert np.array_equal(a, b, equal_nan=True), \
+            f"output {name!r} not bitwise identical"
+        if a.dtype.kind == "f":
+            # == treats -0.0 as +0.0; enforce the sign bit on zeros
+            # too (NaN payloads are the one tolerated difference).
+            zeros = a == 0
+            assert np.array_equal(np.signbit(a[zeros]),
+                                  np.signbit(b[zeros])), \
+                f"output {name!r} differs in zero signs"
+    for field in _EXACT_FIELDS:
+        assert getattr(scalar, field) == getattr(batched, field), field
+    return scalar, batched
+
+
+CATALOG_CASES = [
+    ("laplace2d", dict(shape=(16, 16))),
+    ("jacobi2d", dict(shape=(16, 16))),
+    ("jacobi3d", dict(shape=(8, 8, 8))),
+    ("diffusion2d", dict(shape=(16, 16))),
+    ("diffusion3d", dict(shape=(8, 8, 8))),
+    ("horizontal_diffusion", dict(shape=(8, 8, 8))),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", CATALOG_CASES,
+                         ids=[c[0] for c in CATALOG_CASES])
+def test_catalog_programs(name, kwargs):
+    program = build(name, **kwargs)
+    assert_equivalent(program, random_inputs(program))
+
+
+@pytest.mark.parametrize("width", [1, 4])
+def test_lst1_boundaries_and_vectorization(width):
+    # lst1 exercises constant and copy boundary conditions plus shrink.
+    program = lst1_program().with_vectorization(width)
+    assert_equivalent(program, lst1_inputs())
+
+
+@pytest.mark.parametrize("width", [1, 4])
+def test_hdiff_vectorized(width):
+    program = horizontal_diffusion(shape=(8, 8, 8), vectorization=width)
+    assert_equivalent(program, random_inputs(program))
+
+
+def test_chain():
+    program = chain_program(4)
+    assert_equivalent(program, random_inputs(program))
+
+
+def test_diamond_delay_buffers():
+    program = diamond_program()
+    scalar, _batched = assert_equivalent(program, random_inputs(program))
+    # Sanity: this shape actually exercises steady streaming.
+    assert all(scalar.output_continuous.values())
+
+
+def _int_program(code="a[i-1] + a[i] * 2", dtype="int32",
+                 boundary=None):
+    return StencilProgram.from_json({
+        "inputs": {"a": {"dtype": dtype, "dims": ["i"]}},
+        "outputs": ["s"],
+        "shape": [32],
+        "program": {"s": {
+            "code": code,
+            "boundary_condition": boundary or {
+                "a": {"type": "constant", "value": 3}}}},
+    })
+
+
+def test_integer_program_small_values_equivalent():
+    # Within float64's exact-integer range the batched engine (forced)
+    # still matches the scalar engine bitwise.
+    program = _int_program()
+    inputs = {"a": np.arange(32, dtype=np.int32)}
+    assert_equivalent(program, inputs)
+
+
+def test_integer_program_auto_uses_scalar():
+    # Beyond 2**53 float64 slabs cannot be bit-exact; "auto" keeps the
+    # scalar engine for integer-typed programs.
+    program = _int_program(dtype="int64")
+    assert resolve_engine_mode(SimulatorConfig(),
+                               program=program) == "scalar"
+    inputs = {"a": np.full(32, (1 << 60) + 1, dtype=np.int64)}
+    auto = simulate(program, inputs, SimulatorConfig())
+    scalar = simulate(program, inputs,
+                      SimulatorConfig(engine_mode="scalar"))
+    np.testing.assert_array_equal(auto.outputs["s"], scalar.outputs["s"])
+
+
+def test_integer_overflow_rejected_by_forced_batched():
+    # Forcing the batched engine on out-of-range integers must fail
+    # loudly instead of silently rounding through float64.
+    program = _int_program(dtype="int64")
+    inputs = {"a": np.full(32, (1 << 60) + 1, dtype=np.int64)}
+    with pytest.raises(SimulationError, match="2\\*\\*53"):
+        simulate(program, inputs, SimulatorConfig(engine_mode="batched"))
+
+
+def test_integer_output_nan_raises_in_both_engines():
+    # A shrink boundary injects NaN into an int-typed output; the
+    # scalar engine raises at the per-lane cast and the batched engine
+    # must do the same instead of storing INT_MIN.
+    program = _int_program(boundary="shrink")
+    inputs = {"a": np.arange(32, dtype=np.int32)}
+    for mode in ("scalar", "batched"):
+        with pytest.raises(ValueError, match="NaN"):
+            simulate(program, inputs, SimulatorConfig(engine_mode=mode))
+
+
+def test_literal_call_arguments():
+    # All-literal math-call arguments exercise the guarded fallback's
+    # scalar path (frompyfunc returns plain scalars there).
+    program = StencilProgram.from_json({
+        "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+        "outputs": ["s"],
+        "shape": [8, 8],
+        "program": {"s": {"code": "a[i,j] + log(1.947)",
+                          "boundary_condition": "shrink"}},
+    })
+    assert_equivalent(program, random_inputs(program))
+
+
+def test_complex_pow_poisons_identically():
+    # pow(negative, fractional) promotes to complex in Python; both
+    # engines must poison those cells with NaN rather than crash.
+    program = StencilProgram.from_json({
+        "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+        "outputs": ["s"],
+        "shape": [8, 8],
+        "program": {"s": {"code": "pow(a[i,j] - 2.0, 0.5)",
+                          "boundary_condition": "shrink"}},
+    })
+    scalar, _batched = assert_equivalent(program, random_inputs(program))
+    assert np.isnan(scalar.outputs["s"]).all()  # all inputs < 2
+
+
+def test_one_dimensional_program():
+    program = StencilProgram.from_json({
+        "inputs": {"a": {"dtype": "float64", "dims": ["i"]}},
+        "outputs": ["s"],
+        "shape": [64],
+        "program": {"s": {"code": "a[i-1] + 2*a[i] + a[i+1]",
+                          "boundary_condition": {
+                              "a": {"type": "constant", "value": 1.5}}}},
+    })
+    assert_equivalent(program, random_inputs(program))
+
+
+def test_ternary_and_sqrt_program():
+    # Data-dependent branches and a domain-error-prone call; shrink
+    # boundaries inject NaNs that must propagate identically.
+    program = StencilProgram.from_json({
+        "inputs": {"a": {"dtype": "float32", "dims": ["i", "j"]}},
+        "outputs": ["t"],
+        "shape": [12, 12],
+        "program": {
+            "s": {"code": "a[i,j] - 0.5", "boundary_condition": "shrink"},
+            "t": {"code": "s[i-1,j] > 0 ? sqrt(s[i,j-1]) : s[i+1,j] / "
+                          "s[i,j+1]",
+                  "boundary_condition": "shrink"},
+        },
+    })
+    assert_equivalent(program, random_inputs(program))
+
+
+class TestMultiDevice:
+    def test_two_device_chain(self):
+        program = chain_program(4)
+        assert_equivalent(program, random_inputs(program),
+                          device_of={"s0": 0, "s1": 0, "s2": 1, "s3": 1})
+
+    def test_two_device_lst1(self):
+        program = lst1_program()
+        assert_equivalent(program, lst1_inputs(), device_of={
+            "b0": 0, "b1": 0, "b2": 0, "b3": 1, "b4": 1})
+
+    def test_fractional_link_rate_falls_back_scalar(self):
+        # words_per_cycle != 1 cannot batch; the batched engine must
+        # step those cycles scalar and still match exactly.
+        program = chain_program(2, shape=(4, 4, 8))
+        assert_equivalent(program, random_inputs(program),
+                          device_of={"s0": 0, "s1": 1},
+                          network_words_per_cycle=0.25)
+
+
+class TestFailureModes:
+    def test_underprovisioned_deadlock_identical(self):
+        program = diamond_program(long_branch=2)
+        inputs = random_inputs(program)
+        errors = {}
+        for mode in ("scalar", "batched"):
+            config = SimulatorConfig(
+                engine_mode=mode,
+                channel_capacities={k: 2 for k in edge_keys(program)},
+                deadlock_window=64)
+            with pytest.raises(DeadlockError) as info:
+                simulate(program, inputs, config)
+            errors[mode] = info.value
+        scalar, batched = errors["scalar"], errors["batched"]
+        assert scalar.cycle == batched.cycle
+        assert scalar.blocked_units == batched.blocked_units
+        assert str(scalar) == str(batched)
+
+    def test_cycle_cap_overrun_identical(self):
+        program = chain_program(2)
+        inputs = random_inputs(program)
+        for mode in ("scalar", "batched"):
+            with pytest.raises(SimulationError, match="exceeded 100"):
+                simulate(program, inputs,
+                         SimulatorConfig(engine_mode=mode, max_cycles=100))
+
+
+def _random_program(rng):
+    """A random small DAG: random rank, offsets, boundaries, and W."""
+    rank = int(rng.integers(1, 4))
+    dims = ["i", "j", "k"][:rank]
+    shape = [int(rng.integers(4, 9)) * 2 for _ in range(rank)]
+    width = int(rng.choice([w for w in (1, 2, 4) if shape[-1] % w == 0]))
+
+    def access(field):
+        offsets = []
+        for d in dims:
+            o = int(rng.integers(-2, 3))
+            offsets.append(f"{d}{'+' if o > 0 else '-'}{abs(o)}" if o
+                           else d)
+        return f"{field}[{','.join(offsets)}]"
+
+    program = {}
+    available = ["a0"]
+    for n in range(int(rng.integers(2, 5))):
+        reads = list(rng.choice(
+            available, size=min(len(available), int(rng.integers(1, 3))),
+            replace=False))
+        terms = [access(f) for f in reads
+                 for _ in range(int(rng.integers(1, 3)))]
+        code = " + ".join(f"{rng.random():.3f}*{t}" for t in terms)
+        if rng.random() < 0.5:
+            boundary = "shrink"
+        else:
+            boundary = {
+                f: ({"type": "constant", "value": float(rng.random())}
+                    if rng.random() < 0.5 else {"type": "copy"})
+                for f in reads}
+        program[f"s{n}"] = {"code": code, "boundary_condition": boundary}
+        available.append(f"s{n}")
+    return StencilProgram.from_json({
+        "name": "fuzz",
+        "inputs": {"a0": {"dtype": "float32", "dims": dims}},
+        "outputs": [available[-1]],
+        "shape": shape,
+        "vectorization": width,
+        "program": program,
+    })
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+def test_randomized_programs(seed):
+    """Seeded fuzz: random DAGs must be exactly equivalent, and random
+    under-provisioned capacities must fail (or not) identically."""
+    rng = np.random.default_rng(seed)
+    program = _random_program(rng)
+    inputs = random_inputs(program)
+    assert_equivalent(program, inputs)
+
+    capacities = {k: int(rng.integers(1, 5)) for k in edge_keys(program)}
+    outcomes = {}
+    for mode in ("scalar", "batched"):
+        config = SimulatorConfig(engine_mode=mode,
+                                 channel_capacities=capacities,
+                                 deadlock_window=64)
+        try:
+            result = simulate(program, inputs, config)
+            outcomes[mode] = ("done", result.cycles)
+        except DeadlockError as exc:
+            outcomes[mode] = ("deadlock", exc.cycle, exc.blocked_units)
+    assert outcomes["scalar"] == outcomes["batched"]
+
+
+class TestEngineSelection:
+    def test_auto_prefers_batched(self):
+        assert resolve_engine_mode(SimulatorConfig()) == "batched"
+        simulator = make_simulator(chain_program(2))
+        assert isinstance(simulator, BatchedSimulator)
+
+    def test_auto_avoids_unbatchable_links(self):
+        config = SimulatorConfig(network_words_per_cycle=0.5)
+        assert resolve_engine_mode(config, {"s1": 1}) == "scalar"
+        assert resolve_engine_mode(config) == "batched"
+
+    def test_auto_ignores_single_device_placements(self):
+        # A placement with every stencil on one device creates no
+        # links, so fractional rates are irrelevant and the batched
+        # engine stays selected.
+        program = chain_program(2)
+        config = SimulatorConfig(network_words_per_cycle=0.5)
+        placement = {"s0": 1, "s1": 1}
+        assert resolve_engine_mode(config, placement,
+                                   program) == "batched"
+        split = {"s0": 0, "s1": 1}
+        assert resolve_engine_mode(config, split, program) == "scalar"
+
+    def test_explicit_modes(self):
+        assert resolve_engine_mode(
+            SimulatorConfig(engine_mode="scalar")) == "scalar"
+        assert resolve_engine_mode(
+            SimulatorConfig(engine_mode="batched"), {"s1": 1}) == "batched"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError, match="engine_mode"):
+            resolve_engine_mode(SimulatorConfig(engine_mode="turbo"))
+
+    def test_session_engine_override(self):
+        from repro.run import Session
+        program = lst1_program()
+        session = Session(program)
+        result = session.run(lst1_inputs(), engine_mode="batched")
+        assert result.validated
