@@ -18,7 +18,11 @@ from repro.hardware import STRATIX10, estimate_resources
 from repro.perf import model_multi_device, model_performance
 from repro.programs import chain
 from repro.run import run_reference
-from repro.simulator import simulate
+from repro.simulator import (
+    SimulatorConfig,
+    resolve_engine_mode,
+    simulate,
+)
 
 
 def main():
@@ -51,9 +55,18 @@ def main():
     partition = partition_fixed(program, placement)
     print(f"  cut edges: {[key[2] for key in partition.cut_edges]}")
 
+    # A deep wire shows off the batched engine's lifted in-flight
+    # bound: link batches are sized by channel capacity, not by the
+    # 64-cycle latency ("auto" selects the batched engine for
+    # multi-device runs too).
+    config = SimulatorConfig(network_latency=64)
+    engine = resolve_engine_mode(config, placement, program)
+    print(f"  engine: {engine} (network latency "
+          f"{config.network_latency} cycles)")
+
     rng = np.random.default_rng(0)
     inputs = {"inp": rng.random((8, 16, 16), dtype=np.float32)}
-    result = simulate(program, inputs, device_of=placement)
+    result = simulate(program, inputs, config, device_of=placement)
     reference = run_reference(program, inputs)["s5"]
     ok = np.allclose(result.outputs["s5"], reference.data, rtol=1e-5)
     print(f"  simulated {result.cycles} cycles "

@@ -55,9 +55,42 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument("--engine", default="auto",
                                  choices=("auto", "scalar", "batched"),
                                  help="simulator engine (auto picks the "
-                                      "batched NumPy engine when it "
-                                      "applies)")
+                                      "batched NumPy engine)")
+            command.add_argument("--shape", type=_parse_shape,
+                                 default=None, metavar="I,J,K",
+                                 help="override the program's iteration "
+                                      "domain (same rank, e.g. "
+                                      "128,128,80)")
+            command.add_argument("--devices", type=int, default=1,
+                                 help="split the stencil pipeline "
+                                      "contiguously across this many "
+                                      "devices (edges crossing devices "
+                                      "become network links)")
+            command.add_argument("--network-words-per-cycle",
+                                 type=float, default=1.0,
+                                 metavar="RATE",
+                                 help="per-link transfer rate cap; "
+                                      "fractional rates (e.g. 0.25) "
+                                      "model a slower wire and run on "
+                                      "the batched engine's credit-"
+                                      "schedule fast path")
+            command.add_argument("--network-latency", type=int,
+                                 default=32, metavar="CYCLES",
+                                 help="propagation latency of inter-"
+                                      "device links")
     return parser
+
+
+def _parse_shape(text: str):
+    try:
+        shape = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid shape {text!r} (expected e.g. 128,128,80)")
+    if not shape or any(extent < 1 for extent in shape):
+        raise argparse.ArgumentTypeError(
+            f"invalid shape {text!r} (extents must be >= 1)")
+    return shape
 
 
 def main(argv=None) -> int:
@@ -122,15 +155,33 @@ def _codegen(program: StencilProgram, args) -> int:
 
 
 def _run(program: StencilProgram, args) -> int:
+    from .simulator import SimulatorConfig, resolve_engine_mode
+
+    if args.shape is not None:
+        program = program.with_shape(args.shape)
     rng = np.random.default_rng(args.seed)
     inputs = {}
     for name, spec in program.inputs.items():
         shape = spec.shape(program.shape, program.index_names)
         inputs[name] = rng.random(shape).astype(spec.dtype.numpy) \
             if shape else spec.dtype.numpy.type(rng.random())
+
+    device_of = None
+    if args.devices > 1:
+        from .distributed import contiguous_device_split
+        device_of = contiguous_device_split(program, args.devices)
+    config = SimulatorConfig(
+        engine_mode=args.engine,
+        network_words_per_cycle=args.network_words_per_cycle,
+        network_latency=args.network_latency)
+
     session = Session(program)
-    result = session.run(inputs, engine_mode=args.engine)
+    result = session.run(inputs, config=config, device_of=device_of)
     sim = result.simulation
+    devices = 1 + max(device_of.values()) if device_of else 1
+    print(f"engine: {resolve_engine_mode(config, device_of, program)} "
+          f"({devices} device{'s' if devices != 1 else ''}, "
+          f"link rate {args.network_words_per_cycle:g} words/cycle)")
     print(f"simulated {sim.cycles} cycles "
           f"(Eq. 1 model: {sim.expected_cycles}, "
           f"ratio {sim.model_accuracy:.3f})")

@@ -170,6 +170,21 @@ class StencilProgram:
         """A copy of the program with a different vectorization factor."""
         return replace(self, vectorization=width)
 
+    def with_shape(self, shape) -> "StencilProgram":
+        """A copy of the program over a different iteration domain.
+
+        The rank must match the original program (stencil subscripts
+        are written against its index names); the copy is rebuilt from
+        the JSON form so all derived structures stay consistent.
+        """
+        spec = self.to_json()
+        spec["shape"] = [int(extent) for extent in shape]
+        if len(spec["shape"]) != self.rank:
+            raise DefinitionError(
+                f"with_shape: expected rank {self.rank}, "
+                f"got shape {tuple(shape)}")
+        return type(self).from_json(spec)
+
     # -- JSON serialization --------------------------------------------------
 
     @classmethod

@@ -4,6 +4,7 @@ from .partition import (
     EdgeKey,
     Partition,
     check_network_feasible,
+    contiguous_device_split,
     edge_latency_map,
     partition_fixed,
     partition_program,
@@ -13,6 +14,7 @@ __all__ = [
     "EdgeKey",
     "Partition",
     "check_network_feasible",
+    "contiguous_device_split",
     "edge_latency_map",
     "partition_fixed",
     "partition_program",

@@ -123,6 +123,19 @@ def partition_program(program: StencilProgram,
     return _finalize(program, graph, device_of, device + 1)
 
 
+def contiguous_device_split(program: StencilProgram,
+                            devices: int) -> Dict[str, int]:
+    """A naive fig14-style placement: cut the stencil pipeline into
+    ``devices`` contiguous groups in program order.  Shared by the CLI
+    (``--devices``) and the engine benchmarks; use
+    :func:`partition_program` for resource-driven placement."""
+    if devices < 1:
+        raise MappingError(f"device count must be >= 1, got {devices}")
+    names = program.stencil_names
+    per_device = -(-len(names) // devices)
+    return {name: idx // per_device for idx, name in enumerate(names)}
+
+
 def partition_fixed(program: StencilProgram,
                     device_of: Dict[str, int]) -> Partition:
     """Wrap an explicit placement into a :class:`Partition`."""

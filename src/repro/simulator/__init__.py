@@ -14,11 +14,15 @@ Two execution engines share one machine model:
 The batching invariant: **identical observable machine state at every
 stall point**.  Outputs are bitwise identical and ``cycles``,
 ``stall_cycles``, and channel occupancy high-water marks match the
-scalar engine exactly; when no unit can progress the batched engine
-falls back to scalar stepping, so deadlock detection (Fig. 4) and its
-diagnostics are unchanged.  ``SimulatorConfig.engine_mode`` selects
-``"scalar"``, ``"batched"``, or ``"auto"`` (batched unless the
-configuration defeats batching).
+scalar engine exactly; when no unit can progress and no link word is
+buffered or in flight, the batched engine falls back to scalar
+stepping, so deadlock detection (Fig. 4) and its diagnostics are
+unchanged.  Every supported configuration batches: fractional-rate
+links (closed-form credit schedule), integer-typed programs (native
+int64 slabs, exact to 2**63), and multi-device placements (deliveries
+planned from the full in-flight ring, so batches are bounded by channel
+capacity rather than the wire latency).  ``SimulatorConfig.engine_mode``
+selects ``"scalar"``, ``"batched"``, or ``"auto"`` (batched).
 """
 
 from .batched import (

@@ -23,15 +23,39 @@ The units mirror :mod:`repro.simulator.units` but hold NumPy state:
 * :class:`BatchedSourceUnit` slices ``(B, W)`` slabs straight out of
   the input array instead of boxing tuples;
 * :class:`BatchedStencilUnit` keeps per-field sliding windows as flat
-  float64 ring arrays, resolves a batch's accesses with precomputed
-  gather-index vectors plus boundary masks, and evaluates the stencil
-  through the array-mode compiler
+  ring arrays (float64, or int64 for integer-typed fields), resolves a
+  batch's accesses with coordinate/boundary slabs precomputed once per
+  program, and evaluates the stencil through the array-mode compiler
   (:class:`~repro.simulator.compile.ArrayCompiledStencil`);
 * :class:`BatchedSinkUnit` writes slabs directly into the output array.
 
-Known follow-up (see ROADMAP): links running at fractional rates
-(``words_per_cycle != 1``) are stepped scalar, and in-flight network
-batches are bounded by the timely in-flight prefix (≈ the wire latency).
+Every supported configuration runs on this fast path:
+
+* **Fractional-rate links** (``words_per_cycle < 1``) are planned from
+  the rate limiter's closed-form credit schedule — between spends the
+  credit is an affine, capped function of the cycle count, so the
+  planner knows the exact cycle of the next delivery and batches the
+  stall stretch in between.  Rates >= 1 admit one word per cycle
+  whenever a timely word exists (producers push at most one word per
+  cycle, so a timely backlog never forms) and batch like rate 1.0.
+* **Multi-device batches are not bounded by the wire latency**: when a
+  link's producer pushes every cycle of the pattern and the whole
+  in-flight ring is timely (length >= latency), deliveries sustain one
+  word per cycle indefinitely, so the batch is bounded by channel
+  capacity — words pushed during the batch are delivered in the same
+  batch, after the producer's slab lands.
+* **Integer-typed streams** ride int64 slabs: exact to 2**63 where the
+  former float64 slabs capped exactness at 2**53 (the scalar engine
+  computes arbitrary-precision Python ints).  Stores into integer
+  output arrays truncate and range-check exactly like the scalar
+  engine's per-element NumPy stores.  Integer streams that boundary
+  fills can leak floats into (shrink's NaN, float constants — see
+  :func:`float_leaky_streams`) are demoted to float64 slabs so the
+  floats flow downstream exactly as the scalar engine's Python floats
+  do.  The one documented divergence is far outside realistic ranges:
+  wherever a lane passes through float64 (division, math calls, mixed
+  int/float selection, demoted streams), integer values beyond 2**53
+  round as float64 where cell mode's Python ints stay exact.
 """
 
 from __future__ import annotations
@@ -61,11 +85,124 @@ def _pow2_ceil(n: int) -> int:
     return 1 << max(0, (n - 1).bit_length())
 
 
+_IOTA = np.arange(1, dtype=np.int64)
+
+
+def _iota(n: int) -> np.ndarray:
+    """A shared read-only ``arange(n)`` slice (grown on demand), so
+    per-batch time vectors cost one addition instead of an arange."""
+    global _IOTA
+    if _IOTA.size < n:
+        _IOTA = np.arange(_pow2_ceil(n), dtype=np.int64)
+    return _IOTA[:n]
+
+
+def float_leaky_streams(program: StencilProgram) -> Dict[str, str]:
+    """Streams whose runtime values may be floats although their
+    *inferred* dtype is integer, mapped to the kind of leak.
+
+    Type inference cannot see boundary conditions: a shrink fill (NaN)
+    or a float constant fill on an integer-typed field injects float
+    lanes at run time, and the leak propagates to every downstream
+    integer-typed stream.  Such streams must ride float64 slabs — the
+    scalar engine carries the floats onward and only truncates at an
+    integer store — at the price of capping integer exactness at 2**53
+    on them (conservative: a leak is assumed whether or not the filled
+    access can actually leave the domain).
+
+    The kind distinguishes what leaked: ``"nan"`` streams carry cell
+    values that are Python ints everywhere except NaN lanes (their
+    int-typedness survives, because the zero-sign rules are moot on
+    NaN), while ``"float"`` streams may hold genuine floats on lanes
+    that cannot be identified downstream, so their int-typedness is
+    dropped — the one remaining zero-sign corner.
+    """
+    leaky: Dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for stencil in program.stencils:
+            if leaky.get(stencil.name) == "float":
+                continue
+            if not program.field_dtype(stencil.name).is_integer:
+                continue
+            kind = leaky.get(stencil.name)
+            for field in stencil.accessed_fields:
+                if not program.field_dtype(field).is_integer:
+                    continue  # inference already made the result float
+                if leaky.get(field) == "float":
+                    kind = "float"
+                    break
+                if leaky.get(field) == "nan":
+                    kind = kind or "nan"
+                if stencil.boundary.shrink:
+                    kind = kind or "nan"
+                    continue
+                if not stencil.boundary.has_input(field):
+                    # No condition declared: a fill is never applied
+                    # (an out-of-bounds access would raise in either
+                    # engine), so nothing can leak.
+                    continue
+                condition = stencil.boundary.for_input(field)
+                if condition.kind == "constant" and not (
+                        isinstance(condition.value, int)
+                        and not isinstance(condition.value, bool)):
+                    kind = "float"
+                    break
+            if kind is not None and kind != leaky.get(stencil.name):
+                leaky[stencil.name] = kind
+                changed = True
+    return leaky
+
+
+class CoordSlabs:
+    """Iteration geometry of one domain, precomputed once per machine
+    and shared by every stencil unit: flat cell indices, per-dimension
+    coordinates, and memoized boundary data per distinct offset vector.
+    Per-batch coordinate generation then degenerates to slicing
+    (profiling attributed ~15% of hdiff time to recomputing the
+    unflatten div/mods per access batch)."""
+
+    def __init__(self, domain: Tuple[int, ...]):
+        self.domain = tuple(domain)
+        n = 1
+        for extent in domain:
+            n *= extent
+        self.num_cells = n
+        self.t = np.arange(n, dtype=np.int64)
+        strides = row_major_strides(domain)
+        self.coords = tuple((self.t // stride) % extent
+                            for stride, extent in zip(strides, domain))
+        self._boundary: Dict[Tuple, Optional[Tuple]] = {}
+
+    def boundary(self, full: Tuple[int, ...], width: int):
+        """Boundary data of offset vector ``full``: ``None`` when the
+        access can never leave the domain, else ``(in_bounds, words)``
+        with the whole-domain in-bounds mask and the sorted word
+        indices containing at least one out-of-bounds lane (so batches
+        that stay interior skip boundary handling entirely)."""
+        key = (tuple(full), width)
+        if key in self._boundary:
+            return self._boundary[key]
+        entry = None
+        if any(full):
+            in_bounds = np.ones(self.num_cells, dtype=bool)
+            for c, off, extent in zip(self.coords, full, self.domain):
+                if off:
+                    pos = c + off
+                    in_bounds &= (pos >= 0) & (pos < extent)
+            if not in_bounds.all():
+                words = np.unique(np.nonzero(~in_bounds)[0] // width)
+                entry = (in_bounds, words)
+        self._boundary[key] = entry
+        return entry
+
+
 def _write_slab(channel, rows: np.ndarray, now: int, b: int):
     """Push ``b`` words (one per cycle from ``now``) onto a channel,
     computing per-row delivery times for network links."""
     if isinstance(channel, ArrayNetworkLink):
-        times = now + np.arange(b, dtype=np.int64) + channel.latency
+        times = _iota(b) + (now + channel.latency)
         channel.write_rows(rows, times)
     else:
         channel.write_rows(rows)
@@ -83,15 +220,18 @@ class BatchedSourceUnit(SourceUnit):
                  out_channels: Sequence, words_per_cycle: float = 1.0):
         super().__init__(name, data, vector_width, out_channels,
                          words_per_cycle)
-        self.rows = np.asarray(self._flat, dtype=np.float64).reshape(
-            self.num_words, vector_width)
-        if (self._flat.dtype.kind in "iu"
-                and not np.array_equal(
-                    self.rows.reshape(-1).astype(self._flat.dtype),
-                    self._flat)):
+        # Integer fields stream int64 slabs (the scalar engine's words
+        # are exact Python ints); everything else streams float64.
+        slab = np.int64 if self._flat.dtype.kind in "iu" else np.float64
+        if (self._flat.dtype.kind == "u" and self._flat.size
+                and int(self._flat.max()) > np.iinfo(np.int64).max):
+            # Signed widths always fit; only huge uint64 values do not
+            # (a wrapped int64 round-trips, so check the values).
             raise SimulationError(
-                f"source {name!r}: integer values exceed float64's exact "
-                f"range (2**53); use engine_mode='scalar'")
+                f"source {name!r}: integer values exceed int64's exact "
+                f"range (2**63); use engine_mode='scalar'")
+        self.rows = np.ascontiguousarray(self._flat, dtype=slab).reshape(
+            self.num_words, vector_width)
 
     def _materialize_word(self):
         return self.rows[self.next_word]
@@ -106,9 +246,15 @@ class BatchedSourceUnit(SourceUnit):
 class BatchedStencilUnit(StencilBookkeeping):
     """Vectorized variant of :class:`~repro.simulator.units.StencilUnit`.
 
-    Field data lives in flat float64 ring windows sized to cover the
-    read-ahead plus one maximum batch; access resolution is a gather of
-    ``t + flat_offset`` (mod window) with per-access boundary masks.
+    Field data lives in flat ring windows (float64, or int64 for
+    integer-typed fields) sized to cover the read-ahead plus one
+    maximum batch; access resolution is a gather of ``t + flat_offset``
+    (mod window) with boundary masks precomputed over the whole domain.
+
+    ``coord_slabs`` carries the machine-wide :class:`CoordSlabs`
+    shared by every stencil unit, so per-batch coordinate generation is
+    a slice instead of a div/mod sweep and boundary masks are computed
+    once per distinct offset vector.
     """
 
     def __init__(self, program: StencilProgram,
@@ -116,7 +262,9 @@ class BatchedStencilUnit(StencilBookkeeping):
                  in_channels: Dict[str, object],
                  out_channels: Sequence,
                  compute_latency: int,
-                 max_batch_words: int):
+                 max_batch_words: int,
+                 coord_slabs: Optional[CoordSlabs] = None,
+                 stream_meta=None):
         self.name = stencil.name
         self.program = program
         self.stencil = stencil
@@ -141,25 +289,61 @@ class BatchedStencilUnit(StencilBookkeeping):
             fields)
         self.fields = fields
 
+        # Slab dtypes mirror the scalar engine's exact Python numbers:
+        # int64 for integer-typed streams, float64 otherwise (and for
+        # integer streams that boundary fills can leak floats into).
+        # The second element of the meta is the int-typedness seed of
+        # the stream's lanes (see float_leaky_streams).  The simulator
+        # passes its machine-wide resolver so windows match the
+        # producing channels exactly.
+        if stream_meta is None:
+            leaky = float_leaky_streams(program)
+
+            def stream_meta(data: str):
+                if not program.field_dtype(data).is_integer:
+                    return np.float64, None
+                leak = leaky.get(data)
+                if leak is None:
+                    return np.int64, True
+                return np.float64, (True if leak == "nan" else None)
+
         # Sliding windows: ring arrays indexed by global cell index
         # (mod size).  Sized so one maximum batch plus the read-ahead
         # plus trailing history (negative offsets, copy-boundary
         # centers) never laps itself.
         self._window: Dict[str, np.ndarray] = {}
         self._wmask: Dict[str, int] = {}
+        self._field_int: Dict[str, Optional[bool]] = {}
         for field in fields:
             span = ((readahead[field] + max_batch_words + 2) * width
                     + max(0, -self.min_flat[field]) + width)
             size = _pow2_ceil(span)
-            self._window[field] = np.zeros(size, dtype=np.float64)
+            dtype, int_seed = stream_meta(field)
+            self._window[field] = np.zeros(size, dtype=dtype)
             self._wmask[field] = size - 1
+            self._field_int[field] = int_seed
+        self.line_dtype = stream_meta(stencil.name)[0]
 
-        self._strides = row_major_strides(domain)
+        # Machine-wide coordinate slabs: flat cell indices, coordinate
+        # arrays, and memoized per-offset boundary data, sliced per
+        # batch instead of recomputed.
+        if coord_slabs is None:
+            coord_slabs = CoordSlabs(domain)
+        self._t_all = coord_slabs.t
+        self._coords_all = coord_slabs.coords
+        self._access_boundary = [coord_slabs.boundary(full, width)
+                                 for _access, full, _flat
+                                 in self.access_info]
+
+        # Scratch gather-index buffer reused across batches.
+        self._gather = np.empty((max_batch_words + 1) * width,
+                                dtype=np.int64)
 
         # Latency line as parallel rings of rows and ready-times.
         self.line_capacity = self.compute_latency + 1
         line_rows = self.line_capacity + max_batch_words + 1
-        self._line_rows = _RowRing(line_rows, width)
+        self._line_rows = _RowRing(line_rows, width,
+                                   dtype=self.line_dtype)
         self._line_times = _RowRing(line_rows, dtype=np.int64)
 
         self.local_step = 0
@@ -258,32 +442,58 @@ class BatchedStencilUnit(StencilBookkeeping):
     def compute_words(self, w0: int, b: int) -> np.ndarray:
         """Vectorized stencil evaluation of words ``[w0, w0 + b)``."""
         width = self.width
-        t = np.arange(w0 * width, (w0 + b) * width, dtype=np.int64)
-        coords = tuple((t // stride) % extent
-                       for stride, extent in zip(self._strides, self.domain))
+        lo = w0 * width
+        hi = lo + b * width
+        t = self._t_all[lo:hi]
+        coords = tuple(c[lo:hi] for c in self._coords_all)
         args = []
-        for access, full, flat in self.access_info:
+        intish = []
+        gather = self._gather[:t.size]
+        for (access, _full, flat), boundary in zip(
+                self.access_info, self._access_boundary):
             window = self._window[access.field]
             mask = self._wmask[access.field]
-            values = window[(t + flat) & mask]
-            if any(full):
-                in_bounds = np.ones(t.size, dtype=bool)
-                for c, off, extent in zip(coords, full, self.domain):
-                    if off:
-                        pos = c + off
-                        in_bounds &= (pos >= 0) & (pos < extent)
-                if not in_bounds.all():
+            np.add(t, flat, out=gather)
+            gather &= mask
+            values = window.take(gather)
+            # Lane int-typedness mirrors cell mode's Python values, not
+            # the slab dtype: NaN-demoted integer streams ride float64
+            # but their non-NaN lanes are still Python ints in cell
+            # mode (see float_leaky_streams).
+            base_int = self._field_int[access.field]
+            lane_int = base_int
+            if boundary is not None:
+                in_bounds_all, oob_words = boundary
+                # Binary-search the precomputed out-of-bounds word list
+                # instead of scanning the batch's lanes.
+                pos = int(np.searchsorted(oob_words, w0))
+                if pos < oob_words.size and oob_words[pos] < w0 + b:
+                    in_bounds = in_bounds_all[lo:hi]
                     if self.shrink:
                         fill = self.fill_value
+                        fill_int = False
                     else:
                         condition = self.boundary.for_input(access.field)
                         if condition.kind == "constant":
                             fill = condition.value
+                            fill_int = (isinstance(fill, int)
+                                        and not isinstance(fill, bool))
                         else:  # copy: the center value
-                            fill = window[t & mask]
+                            np.bitwise_and(t, mask, out=gather)
+                            fill = window.take(gather)
+                            fill_int = base_int is True
                     values = np.where(in_bounds, values, fill)
+                    # Cell mode types each lane individually: an int
+                    # fill on a float stream (or a float fill on an
+                    # int stream) makes int-typedness per-lane.
+                    if base_int is True and not fill_int:
+                        lane_int = in_bounds
+                    elif base_int is not True and fill_int:
+                        lane_int = ~in_bounds
             args.append(values)
-        out = self.compiled(args, coords)
+            intish.append(lane_int)
+        out = self.compiled(args, coords, intish=intish,
+                            out_dtype=self.line_dtype)
         return out.reshape(b, width)
 
     def run_batch(self, now: int, b: int, needed: Sequence[str],
@@ -298,8 +508,7 @@ class BatchedStencilUnit(StencilBookkeeping):
                                          b)
                 self._line_rows.push_rows(out)
                 self._line_times.push_rows(
-                    now + np.arange(b, dtype=np.int64)
-                    + self.compute_latency)
+                    _iota(b) + (now + self.compute_latency))
         elif stall_reason:
             self.stall_cycles += b
             if self.local_step >= self.init_words:
@@ -324,11 +533,31 @@ class BatchedSinkUnit(SinkUnit):
     def run_batch(self, now: int, b: int):
         rows = self.in_channel.read_rows(b)
         values = rows.reshape(-1)
-        if self.flat.dtype.kind in "iu" and not np.isfinite(values).all():
-            # Mirror the scalar engine's per-lane cast errors instead of
-            # NumPy's silent wraparound on slab assignment.
-            kind = "NaN" if np.isnan(values).any() else "infinity"
-            raise ValueError(f"cannot convert float {kind} to integer")
+        if self.flat.dtype.kind in "iu" and values.dtype != self.flat.dtype:
+            # Mirror the scalar engine's per-lane store errors instead
+            # of NumPy's silent wraparound on slab assignment: NaN and
+            # infinity raise ValueError, out-of-range integers raise
+            # OverflowError.
+            info = np.iinfo(self.flat.dtype)
+            if values.dtype.kind == "f":
+                if not np.isfinite(values).all():
+                    kind = "NaN" if np.isnan(values).any() else "infinity"
+                    raise ValueError(
+                        f"cannot convert float {kind} to integer")
+                checked = np.trunc(values)  # the store truncates first
+                # Compare against float bounds: float(info.max) rounds
+                # *up* to 2**63 for int64, so the inclusive integer
+                # comparison would pass values at exactly 2**63.
+                out_of_range = ((checked < float(info.min))
+                                | (checked >= float(info.max) + 1.0))
+            else:
+                checked = values
+                out_of_range = (checked < info.min) | (checked > info.max)
+            if out_of_range.any():
+                bad = values[out_of_range][0]
+                raise OverflowError(
+                    f"Python integer {int(bad)} out of bounds for "
+                    f"{self.flat.dtype}")
         base = self.received * self.width
         self.flat[base:base + values.size] = values
         if self.first_word_cycle is None:
@@ -342,7 +571,7 @@ class _Plan:
 
     __slots__ = ("batch", "any_progress", "scalar_only", "bounds",
                  "checks", "chan_push", "chan_pop", "link_deliver",
-                 "source_ops", "stencil_ops", "sink_ops")
+                 "link_tail", "source_ops", "stencil_ops", "sink_ops")
 
     def __init__(self):
         self.batch = 0
@@ -355,6 +584,9 @@ class _Plan:
         self.chan_push: Dict[int, bool] = {}
         self.chan_pop: Dict[int, bool] = {}
         self.link_deliver: Dict[int, bool] = {}
+        # Sustained link deliveries owed after the producer's slab lands
+        # (lifted in-flight bound): link id -> rows still to deliver.
+        self.link_tail: Dict[int, int] = {}
         self.source_ops: List[Tuple[object, object]] = []
         self.stencil_ops: List[Tuple[object, dict]] = []
         self.sink_ops: List[Tuple[object, bool]] = []
@@ -380,17 +612,48 @@ class BatchedSimulator(Simulator):
         num_words = self.program.num_cells // self.program.vectorization
         return max(1, min(self.config.max_batch_words, num_words))
 
-    def _make_channel(self, name: str, capacity: int):
-        return ArrayChannel(name, capacity, self.program.vectorization,
-                            headroom=self._batch_cap())
+    def _stream_meta(self, data: str):
+        """``(slab dtype, int-typedness seed)`` of the stream carrying
+        field ``data`` (cached — field_dtype runs type inference):
+        int64 slabs for integer-typed streams, float64 otherwise and
+        for integer streams that boundary fills can leak floats into.
+        The seed is True when every non-NaN cell value is a Python int
+        in the scalar engine (see :func:`float_leaky_streams`)."""
+        cache = getattr(self, "_stream_metas", None)
+        if cache is None:
+            cache = self._stream_metas = {}
+            self._float_leaky = float_leaky_streams(self.program)
+        if data not in cache:
+            if self.program.field_dtype(data).is_integer:
+                leak = self._float_leaky.get(data)
+                if leak is None:
+                    cache[data] = (np.int64, True)
+                else:
+                    cache[data] = (np.float64,
+                                   True if leak == "nan" else None)
+            else:
+                cache[data] = (np.float64, None)
+        return cache[data]
 
-    def _make_link(self, name: str, capacity: int):
+    def _coord_slabs(self):
+        slabs = getattr(self, "_coords", None)
+        if slabs is None:
+            slabs = self._coords = CoordSlabs(self.program.shape)
+        return slabs
+
+    def _make_channel(self, name: str, capacity: int, data: str):
+        return ArrayChannel(name, capacity, self.program.vectorization,
+                            headroom=self._batch_cap(),
+                            dtype=self._stream_meta(data)[0])
+
+    def _make_link(self, name: str, capacity: int, data: str):
         config = self.config
         return ArrayNetworkLink(
             name, capacity, self.program.vectorization,
             latency=config.network_latency,
             words_per_cycle=config.network_words_per_cycle,
-            headroom=self._batch_cap())
+            headroom=self._batch_cap(),
+            dtype=self._stream_meta(data)[0])
 
     def _make_source(self, name: str, data: np.ndarray, outs):
         return BatchedSourceUnit(name, data, self.program.vectorization,
@@ -398,7 +661,9 @@ class BatchedSimulator(Simulator):
 
     def _make_stencil(self, stencil, ins, outs, latency: int):
         return BatchedStencilUnit(self.program, stencil, ins, outs, latency,
-                                  self._batch_cap())
+                                  self._batch_cap(),
+                                  coord_slabs=self._coord_slabs(),
+                                  stream_meta=self._stream_meta)
 
     def _make_sink(self, name: str, channel, dtype):
         return BatchedSinkUnit(name, channel, self.program.shape,
@@ -449,18 +714,41 @@ class BatchedSimulator(Simulator):
             return v_ready(channel) <= 0
 
         empty_links: List[ArrayNetworkLink] = []
+        delivering: List[ArrayNetworkLink] = []
         for link in self.links:
-            if link.words_per_cycle != 1.0:
-                plan.scalar_only = True
-                return plan
             key = id(link)
-            if link.in_flight_len and link.head_time <= now:
+            in_flight = link.in_flight_len
+            if link.words_per_cycle < 1.0:
+                # Fractional rate: the closed-form credit schedule gives
+                # the exact cycle of the next delivery.  A delivery
+                # spends the credit down to exactly 0.0, so a delivering
+                # pattern cannot repeat (bound 1); the stall stretch up
+                # to the next delivery batches in one plan.
+                if not in_flight:
+                    empty_links.append(link)
+                    continue
+                wait = link.next_ready_in()
+                if wait is None:
+                    continue  # credit can never reach 1: frozen forever
+                deliver_at = max(now + wait, link.head_time)
+                if deliver_at <= now:
+                    plan.link_deliver[key] = True
+                    adj_ready[key] = adj_ready.get(key, 0) + 1
+                    plan.bounds.append(1)
+                else:
+                    plan.bounds.append(deliver_at - now)
+                continue
+            # Rate >= 1 admits one word per cycle whenever a timely word
+            # exists (producers push at most one word per cycle, so a
+            # timely backlog never forms) — identical to rate 1.0.
+            if in_flight and link.head_time <= now:
                 plan.link_deliver[key] = True
                 adj_ready[key] = adj_ready.get(key, 0) + 1
-                # Deliveries are bounded by the timely in-flight prefix;
-                # words pushed during the batch wait for the next plan.
-                plan.bounds.append(link.timely_prefix(now))
-            elif link.in_flight_len:
+                # The delivery bound is decided after unit planning:
+                # with the producer pushing every cycle it can sustain
+                # past the current in-flight ring (see below).
+                delivering.append(link)
+            elif in_flight:
                 plan.bounds.append(link.head_time - now)
             else:
                 empty_links.append(link)
@@ -478,15 +766,42 @@ class BatchedSimulator(Simulator):
             if plan.scalar_only:
                 return plan
 
+        for link in delivering:
+            m = link.timely_prefix(now)
+            if (plan.chan_push.get(id(link)) and m == link.in_flight_len
+                    and m >= max(link.latency, 1)):
+                # Lifted in-flight bound: the producer pushes one word
+                # per cycle of the batch, every in-flight word is
+                # timely, and the ring is at least one wire latency
+                # deep — so a word pushed at batch offset i is timely
+                # by its delivery slot m + i, and one-per-cycle
+                # delivery sustains indefinitely.  The batch is bounded
+                # by channel capacity instead of the wire latency;
+                # words pushed during the batch are delivered in the
+                # same batch (plan.link_tail, applied after the
+                # producer's slab lands).
+                continue
+            plan.bounds.append(m)
+
         # An idle link starts delivering `latency` cycles after the
-        # producer's first push lands on it.
+        # producer's first push lands on it (fractional rates may take
+        # longer still; a smaller bound is merely conservative).
         for link in empty_links:
             if plan.chan_push.get(id(link)):
                 plan.bounds.append(max(link.latency, 1))
 
         if not plan.any_progress:
-            plan.scalar_only = True
-            return plan
+            if not any(len(link) for link in self.links):
+                # A genuine standstill: fall back to true scalar
+                # stepping so deadlock detection and its diagnostics
+                # are unchanged.
+                plan.scalar_only = True
+                return plan
+            # Units are stalled but link words are still buffered or in
+            # flight.  Channel occupancies cannot change without unit
+            # progress, so the scalar engine could not declare deadlock
+            # either (its check requires empty links) — batch the stall
+            # stretch up to the next delivery instead of stepping it.
 
         plan.batch = self._evaluate_bounds(plan)
         return plan
@@ -659,12 +974,32 @@ class BatchedSimulator(Simulator):
 
     # -- execution -----------------------------------------------------------
 
+    def _deliver_tails(self, plan: _Plan, unit):
+        """Deliver the sustained-link rows owed past the pre-batch
+        in-flight ring, now that ``unit``'s slab push landed them."""
+        if not plan.link_tail:
+            return
+        for channel in getattr(unit, "out_channels", ()):
+            tail = plan.link_tail.pop(id(channel), 0)
+            if tail:
+                channel.deliver_rows(tail)
+
     def _execute_batch(self, plan: _Plan, now: int):
         b = plan.batch
-        # Links deliver first (they step before units each cycle).
+        # Links deliver first (they step before units each cycle).  A
+        # sustained batch can owe more deliveries than the pre-batch
+        # in-flight ring holds; the remainder is delivered right after
+        # the producer's slab lands (the plan guarantees the producer
+        # pushes one word per cycle in that case).
         for link in self.links:
-            if plan.link_deliver.get(id(link)):
-                link.deliver_rows(b)
+            key = id(link)
+            delivered = bool(plan.link_deliver.get(key))
+            if delivered:
+                upfront = min(b, link.in_flight_len)
+                link.deliver_rows(upfront)
+                if b > upfront:
+                    plan.link_tail[key] = b - upfront
+            link.advance_credit(b, delivered)
         # Channel statistics are applied analytically against the
         # pre-batch occupancy, exactly as B scalar cycles would have.
         for channel in self.channels.values():
@@ -678,12 +1013,15 @@ class BatchedSimulator(Simulator):
         for unit, stall in plan.source_ops:
             if stall is None:
                 unit.run_batch(now, b)
+                self._deliver_tails(plan, unit)
             else:
                 unit.stall_cycles += b
                 unit._block = stall
         for unit, op in plan.stencil_ops:
             unit.run_batch(now, b, op["needed"], op["advance"],
                            op["drain"], op["stall_reason"])
+            if op["drain"]:
+                self._deliver_tails(plan, unit)
         for unit, progress in plan.sink_ops:
             if progress:
                 unit.run_batch(now, b)

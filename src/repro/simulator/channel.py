@@ -11,12 +11,20 @@ Two implementations exist for each:
   scalar engine, where a word is whatever Python object the producer
   pushes (a ``W``-tuple of floats in practice).
 * :class:`ArrayChannel` / :class:`ArrayNetworkLink` — NumPy ring
-  buffers storing words as rows of an ``(n, W)`` float64 slab, used by
-  the batched engine.  They speak the same scalar ``push``/``pop``
-  protocol (words are 1-D rows) plus a slab protocol
+  buffers storing words as rows of an ``(n, W)`` slab (float64 for
+  float-typed streams, int64 for integer-typed ones), used by the
+  batched engine.  They speak the same scalar ``push``/``pop`` protocol
+  (words are 1-D rows) plus a slab protocol
   (``write_rows``/``read_rows``) and analytic per-batch statistics
   (:meth:`ArrayChannel.record_batch`), so a batch of ``B`` cycles can be
   accounted without touching Python once per word.
+
+:class:`ArrayNetworkLink` additionally exposes the rate limiter's
+credit accrual in closed form (:meth:`ArrayNetworkLink.next_ready_in`,
+:meth:`ArrayNetworkLink.advance_credit`): between spends the credit is
+an affine — and capped — function of the cycle count, so the batch
+planner can predict the exact cycle of the next fractional-rate
+delivery without stepping the link cycle by cycle.
 """
 
 from __future__ import annotations
@@ -320,21 +328,24 @@ class ArrayChannel:
     Words are rows of width ``W``; slabs of ``B`` words move in two
     slice copies.  ``headroom`` extra rows absorb the transient where a
     batch writes all ``B`` producer words before the consumer's ``B``
-    pops are applied.
+    pops are applied.  ``dtype`` selects the slab element type: float64
+    for float-typed streams, int64 for integer-typed ones (matching the
+    scalar engine's exact Python-int words up to 2**63).
     """
 
-    __slots__ = ("name", "capacity", "width", "_ring", "pushes", "pops",
-                 "max_occupancy")
+    __slots__ = ("name", "capacity", "width", "dtype", "_ring", "pushes",
+                 "pops", "max_occupancy")
 
     def __init__(self, name: str, capacity: int, width: int,
-                 headroom: int = 0):
+                 headroom: int = 0, dtype=np.float64):
         if capacity < 1:
             raise SimulationError(
                 f"channel {name!r}: capacity must be >= 1, got {capacity}")
         self.name = name
         self.capacity = capacity
         self.width = width
-        self._ring = _RowRing(capacity + headroom + 1, width)
+        self.dtype = np.dtype(dtype)
+        self._ring = _RowRing(capacity + headroom + 1, width, dtype=dtype)
         self.pushes = 0
         self.pops = 0
         self.max_occupancy = 0
@@ -355,7 +366,7 @@ class ArrayChannel:
     def push(self, word):
         if self.full:
             raise SimulationError(f"push to full channel {self.name!r}")
-        row = np.asarray(word, dtype=np.float64).reshape(1, self.width)
+        row = np.asarray(word, dtype=self.dtype).reshape(1, self.width)
         self._ring.push_rows(row)
         self.pushes += 1
         if len(self._ring) > self.max_occupancy:
@@ -393,32 +404,36 @@ class ArrayNetworkLink:
     """NumPy ring-buffer variant of :class:`NetworkLink`.
 
     In-flight words carry per-row delivery times; the batched engine
-    moves timely prefixes in one slab (:meth:`deliver_rows`) and bounds
-    batches with :meth:`timely_prefix`.
+    moves timely prefixes in one slab (:meth:`deliver_rows`), bounds
+    batches with :meth:`timely_prefix`, and plans fractional-rate
+    deliveries from the closed-form credit schedule
+    (:meth:`next_ready_in` / :meth:`advance_credit`).
     """
 
-    __slots__ = ("name", "capacity", "latency", "_limiter", "_now",
-                 "_in_rows", "_in_times", "_ready", "pushes", "pops",
-                 "max_occupancy")
+    __slots__ = ("name", "capacity", "latency", "dtype", "_limiter",
+                 "_now", "_in_rows", "_in_times", "_ready", "pushes",
+                 "pops", "max_occupancy", "_wait_cache")
 
     def __init__(self, name: str, capacity: int, width: int,
                  latency: int = 16, words_per_cycle: float = 1.0,
-                 headroom: int = 0):
+                 headroom: int = 0, dtype=np.float64):
         if capacity < 1:
             raise SimulationError(
                 f"link {name!r}: capacity must be >= 1, got {capacity}")
         self.name = name
         self.capacity = capacity
         self.latency = latency
+        self.dtype = np.dtype(dtype)
         self._limiter = RateLimiter(words_per_cycle)
         self._now = 0
         rows = capacity + headroom + 1
-        self._in_rows = _RowRing(rows, width)
+        self._in_rows = _RowRing(rows, width, dtype=dtype)
         self._in_times = _RowRing(rows, dtype=np.int64)
-        self._ready = _RowRing(rows, width)
+        self._ready = _RowRing(rows, width, dtype=dtype)
         self.pushes = 0
         self.pops = 0
         self.max_occupancy = 0
+        self._wait_cache: Optional[Tuple[float, Optional[int]]] = None
 
     @property
     def words_per_cycle(self) -> float:
@@ -448,7 +463,7 @@ class ArrayNetworkLink:
     def push(self, word):
         if self.full:
             raise SimulationError(f"push to full link {self.name!r}")
-        row = np.asarray(word, dtype=np.float64).reshape(1, -1)
+        row = np.asarray(word, dtype=self.dtype).reshape(1, -1)
         self._in_rows.push_rows(row)
         self._in_times.push_rows(
             np.asarray([self._now + self.latency], dtype=np.int64))
@@ -483,6 +498,85 @@ class ArrayNetworkLink:
         """Largest ``m`` such that the first ``m`` in-flight words can be
         delivered at one word per cycle starting this cycle."""
         return timely_prefix_length(self._in_times.snapshot(), now)
+
+    # -- closed-form credit schedule ----------------------------------------
+    #
+    # For a sub-unit rate the limiter's credit resets to exactly 0.0 on
+    # every spend (the refill cap is 1.0 and a delivery requires the cap
+    # to be reached), so between deliveries the credit is the pure
+    # refill iterate of the rate — an affine, capped function of the
+    # cycle count that can be replayed without stepping the link.  Rates
+    # >= 1.0 refill straight to the cap every cycle (the credit is
+    # memoryless) and admit one word per cycle, exactly like rate 1.0
+    # given that producers push at most one word per cycle.
+
+    #: Refill-replay budget per planning query.  Within the budget the
+    #: schedule is exact; past it a conservative lower bound is
+    #: returned and the planner simply re-plans after that many cycles
+    #: (amortized cost: at most one replayed refill per simulated
+    #: cycle, the same work the scalar engine does).
+    CREDIT_SCAN_LIMIT = 4096
+
+    def next_ready_in(self) -> Optional[int]:
+        """Cycles until the limiter can admit a word, counting this
+        cycle's refill: 0 means a delivery this cycle is possible.
+        ``None`` means the credit can never reach 1.0 (the refill hit
+        its float64 fixpoint below the cap); a value of
+        :attr:`CREDIT_SCAN_LIMIT` is a lower bound, not an exact wait.
+
+        The result is memoized against the current credit (and counted
+        down by :meth:`advance_credit`), so repeated planning queries
+        between deliveries do not replay the schedule."""
+        limiter = self._limiter
+        if limiter.rate >= 1.0:
+            return 0
+        cache = self._wait_cache
+        if cache is not None and cache[0] == limiter.credit:
+            return cache[1]
+        credit = limiter.credit
+        cycles = 0
+        wait: Optional[int] = self.CREDIT_SCAN_LIMIT
+        while cycles < self.CREDIT_SCAN_LIMIT:
+            refilled = min(credit + limiter.rate, 1.0)
+            if refilled >= 1.0:
+                wait = cycles
+                break
+            if refilled == credit:
+                wait = None
+                break
+            credit = refilled
+            cycles += 1
+        self._wait_cache = (limiter.credit, wait)
+        return wait
+
+    def advance_credit(self, cycles: int, delivered: bool):
+        """Account ``cycles`` cycles of credit refills executed as one
+        batch (plus the single spend of a fractional-rate delivery
+        batch, which the planner bounds to one cycle)."""
+        limiter = self._limiter
+        if limiter.rate >= 1.0:
+            return
+        cache = self._wait_cache
+        before_credit = limiter.credit
+        if delivered:
+            limiter.refill()
+            limiter.spend()
+            cycles -= 1
+            cache = None  # spend resets the schedule; rescan from 0.0
+        for _ in range(cycles):
+            before = limiter.credit
+            limiter.refill()
+            if limiter.credit == before:
+                break
+        # Count the memoized wait down by the refills just applied (the
+        # refill iteration is deterministic, so the remainder of a
+        # previously exact scan stays exact).
+        if (cache is not None and cache[0] == before_credit
+                and cache[1] is not None
+                and cache[1] < self.CREDIT_SCAN_LIMIT):
+            self._wait_cache = (limiter.credit, max(cache[1] - cycles, 0))
+        else:
+            self._wait_cache = None
 
     def deliver_rows(self, b: int):
         self._ready.push_rows(self._in_rows.pop_rows(b))

@@ -21,6 +21,21 @@ exactly:
   operand) does not poison the cell;
 * transcendentals with no bit-exact NumPy twin are evaluated
   element-wise through the very same ``math`` functions.
+
+Integer lanes are carried natively: access values of integer-typed
+fields arrive as int64 arrays (cell mode computes the same values as
+arbitrary-precision Python ints), and ``+``/``-``/``*``, comparisons,
+ternary selection, ``abs``/``floor``/``ceil``/``min``/``max`` over
+all-integer operands stay int64 — exact up to 2**63, far beyond the
+2**53 limit of a float64 lane.  An intermediate that overflows int64
+raises :class:`~repro.errors.SimulationError` instead of silently
+wrapping (cell mode's Python ints are arbitrary precision there).
+Operations that produce floats in cell mode (division, transcendental
+calls, mixed int/float selection) go through float64 exactly as cell
+mode's Python floats do; on such mixed lanes integer operands beyond
+2**53 round the same way a float64 cast does, which can diverge from
+Python's exact-rational big-int division — a documented corner far
+outside the paper's numeric ranges.
 """
 
 from __future__ import annotations
@@ -30,7 +45,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import CodeGenError
+from ..errors import CodeGenError, SimulationError
 from ..expr.ast_nodes import (
     BinaryOp,
     Call,
@@ -279,7 +294,12 @@ def _guarded_ufunc(name: str, arity: int) -> Callable:
 
     def guard(*xs):
         try:
-            value = func(*xs)
+            # Integer lanes reach cell mode as Python ints; NumPy
+            # integer scalars would change semantics (e.g. pow with a
+            # negative exponent raises on NumPy ints but not on Python
+            # ints).
+            value = func(*(int(x) if isinstance(x, np.integer) else x
+                           for x in xs))
         except (ValueError, OverflowError, ZeroDivisionError):
             return math.nan, True
         if isinstance(value, complex):
@@ -312,9 +332,18 @@ def _array_call(name: str, args: list, ints: list, invalid):
                     None)
         if name in ("fabs", "abs"):
             # Python abs() preserves int-ness.
-            return np.abs(args[0]), invalid, ints[0]
+            value = np.abs(args[0])
+            if isinstance(value, np.ndarray) and value.dtype.kind == "i" \
+                    and (value < 0).any():
+                _int_overflow()  # abs(int64_min) wraps
+            return value, invalid, ints[0]
         if name in ("floor", "ceil"):
             (x,) = args
+            xa = np.asarray(x)
+            if xa.dtype.kind in "iu":
+                # math.floor/ceil of a Python int is the int itself:
+                # integer lanes pass through exactly (and cannot raise).
+                return xa, invalid, True
             impl = np.floor if name == "floor" else np.ceil
             # math.floor/ceil raise on nan/inf (int conversion).
             bad = ~np.isfinite(np.asarray(x, dtype=np.float64))
@@ -330,7 +359,10 @@ def _array_call(name: str, args: list, ints: list, invalid):
             b64 = np.asarray(b, dtype=np.float64)
             bad = ((np.isinf(a64) | (b64 == 0))
                    & ~np.isnan(a64) & ~np.isnan(b64))
-            return np.fmod(a, b), _merge_invalid(invalid, bad), None
+            # Compute on the float64 conversions: math.fmod converts
+            # integer arguments to double too (np.fmod on int arrays
+            # would compute an integer remainder instead).
+            return np.fmod(a64, b64), _merge_invalid(invalid, bad), None
         if name in ("min", "fmin"):
             value, intish = _chain_min(args, ints)
             return value, invalid, intish
@@ -352,7 +384,43 @@ def _truthy(x):
     return np.asarray(x) != 0
 
 
-def _aeval(node: Expr, env: Mapping):
+def _int_overflow():
+    """An int64 lane overflowed where cell mode's Python ints are
+    exact: fail loudly instead of silently wrapping (the scalar engine
+    handles such programs with arbitrary precision)."""
+    raise SimulationError(
+        "integer intermediate overflows int64's exact range; "
+        "use engine_mode='scalar'")
+
+
+def _check_add(left, right, value):
+    """value = left + right wrapped iff the operands share a sign the
+    result does not (two's-complement check, vectorized)."""
+    if (((left ^ value) & (right ^ value)) < 0).any():
+        _int_overflow()
+
+
+def _check_sub(left, right, value):
+    if (((left ^ right) & (left ^ value)) < 0).any():
+        _int_overflow()
+
+
+def _check_mul(left, right, value):
+    # Exact products divide back exactly; a wrapped product is off by a
+    # multiple of 2**64 > |right|, so the division check is precise —
+    # except for right == -1, where the divide-back itself wraps
+    # (floor_divide(int64_min, -1) == int64_min) and never disagrees;
+    # there the only overflowing left is int64_min, checked directly.
+    divisor = np.where(np.equal(right, 0) | np.equal(right, -1),
+                       1, right)
+    bad = (np.not_equal(right, 0) & np.not_equal(right, -1)
+           & np.not_equal(np.floor_divide(value, divisor), left))
+    bad |= np.equal(right, -1) & np.equal(left, np.iinfo(np.int64).min)
+    if bad.any():
+        _int_overflow()
+
+
+def _aeval(node: Expr, env: Mapping, env_int: Mapping):
     """Evaluate ``node`` over arrays: ``(value, invalid, intish)``.
 
     ``invalid`` marks lanes where cell mode would have raised inside the
@@ -361,7 +429,9 @@ def _aeval(node: Expr, env: Mapping):
     branch it selects, and short-circuit operators only propagate the
     right operand's mask where the left operand would have let it run.
     ``intish`` tracks which lanes cell mode computes as Python ints
-    (sign-less zeros; see :func:`_fix_int_zero`).
+    (sign-less zeros; see :func:`_fix_int_zero`); ``env_int`` seeds it
+    per access (boundary fills can make single lanes of an integer
+    field float-typed and vice versa).
     """
     if isinstance(node, Literal):
         return node.value, None, \
@@ -369,10 +439,10 @@ def _aeval(node: Expr, env: Mapping):
     if isinstance(node, IndexVar):
         return env[node.name], None, True
     if isinstance(node, FieldAccess):
-        return env[node], None, None
+        return env[node], None, env_int.get(node)
     if isinstance(node, BinaryOp):
-        left, linv, lint = _aeval(node.left, env)
-        right, rinv, rint = _aeval(node.right, env)
+        left, linv, lint = _aeval(node.left, env, env_int)
+        right, rinv, rint = _aeval(node.right, env, env_int)
         op = node.op
         if op == "&&":
             ltruth = _truthy(left)
@@ -391,15 +461,26 @@ def _aeval(node: Expr, env: Mapping):
             return _array_div(left, right), invalid, None
         with np.errstate(all="ignore"):
             if op == "+":
-                return left + right, invalid, _int_and(lint, rint)
+                value = left + right
+                if isinstance(value, np.ndarray) \
+                        and value.dtype.kind == "i":
+                    _check_add(left, right, value)
+                return value, invalid, _int_and(lint, rint)
             if op == "-":
-                return left - right, invalid, _int_and(lint, rint)
+                value = left - right
+                if isinstance(value, np.ndarray) \
+                        and value.dtype.kind == "i":
+                    _check_sub(left, right, value)
+                return value, invalid, _int_and(lint, rint)
             if op == "*":
                 # int * int keeps sign-less zeros in cell mode, while
                 # float64 honors (-x) * 0 == -0.0.
                 intish = _int_and(lint, rint)
-                return _fix_int_zero(left * right, intish), invalid, \
-                    intish
+                value = left * right
+                if isinstance(value, np.ndarray) \
+                        and value.dtype.kind == "i":
+                    _check_mul(left, right, value)
+                return _fix_int_zero(value, intish), invalid, intish
             if op == "<":
                 return np.less(left, right), invalid, True
             if op == ">":
@@ -414,20 +495,23 @@ def _aeval(node: Expr, env: Mapping):
                 return np.not_equal(left, right), invalid, True
         raise CodeGenError(f"cannot compile binary operator {op!r}")
     if isinstance(node, UnaryOp):
-        value, invalid, intish = _aeval(node.operand, env)
+        value, invalid, intish = _aeval(node.operand, env, env_int)
         if node.op == "-":
             value = np.asarray(value)
             if value.dtype == bool:  # NumPy forbids -bool; Python: -1/0
                 value = value.astype(np.int64)
-            return _fix_int_zero(np.negative(value), intish), invalid, \
-                intish
+            negated = np.negative(value)
+            if value.dtype.kind == "i" and \
+                    ((negated == value) & (negated < 0)).any():
+                _int_overflow()  # -int64_min wraps to itself
+            return _fix_int_zero(negated, intish), invalid, intish
         if node.op == "!":
             return ~_truthy(value), invalid, True
         raise CodeGenError(f"cannot compile unary operator {node.op!r}")
     if isinstance(node, Ternary):
-        cond, cinv, _cint = _aeval(node.cond, env)
-        then, tinv, tint = _aeval(node.then, env)
-        orelse, einv, eint = _aeval(node.orelse, env)
+        cond, cinv, _cint = _aeval(node.cond, env, env_int)
+        then, tinv, tint = _aeval(node.then, env, env_int)
+        orelse, einv, eint = _aeval(node.orelse, env, env_int)
         chosen = _truthy(cond)
         value = np.where(chosen, then, orelse)
         if tinv is not None or einv is not None:
@@ -442,7 +526,7 @@ def _aeval(node: Expr, env: Mapping):
         ints = []
         invalid = None
         for arg in node.args:
-            value, inv, intish = _aeval(arg, env)
+            value, inv, intish = _aeval(arg, env, env_int)
             values.append(value)
             ints.append(intish)
             invalid = _merge_invalid(invalid, inv)
@@ -467,27 +551,61 @@ class ArrayCompiledStencil:
             tuple(_distinct_accesses(ast))
 
     def __call__(self, access_values: Sequence[np.ndarray],
-                 coords: Sequence[np.ndarray]) -> np.ndarray:
+                 coords: Sequence[np.ndarray],
+                 intish: Optional[Sequence] = None,
+                 out_dtype=np.float64) -> np.ndarray:
         """Evaluate over ``n`` cells.
 
         Args:
-            access_values: one ``(n,)`` float64 array per access, in
-                :attr:`accesses` order.
+            access_values: one ``(n,)`` float64 or int64 array per
+                access, in :attr:`accesses` order.
             coords: per-dimension ``(n,)`` index arrays (i, j, k order;
                 trailing dimensions default to 0 like cell mode).
+            intish: per-access int-typedness seed (None / True / bool
+                lane mask), in :attr:`accesses` order.  Defaults to
+                deriving it from each array's dtype; callers pass lane
+                masks when boundary fills mix int and float lanes.
+            out_dtype: result element type.  float64 (default) matches
+                cell mode's Python floats; int64 truncates float lanes
+                toward zero exactly like the scalar engine's NumPy
+                store does, and raises the same ``ValueError`` when a
+                non-finite lane would reach integer storage.
 
         Returns:
-            ``(n,)`` float64 results, bit-identical to calling the cell
-            compiled form lane by lane.
+            ``(n,)`` results of ``out_dtype``, bit-identical (through
+            that store) to calling the cell compiled form lane by lane.
         """
         env: Dict[object, object] = dict(zip(self.accesses, access_values))
+        env_int: Dict[object, object] = {}
+        for idx, access in enumerate(self.accesses):
+            if intish is not None:
+                env_int[access] = intish[idx]
+            elif np.asarray(access_values[idx]).dtype.kind in "iu":
+                env_int[access] = True
         for axis, name in enumerate(_INDEX_ARGS):
             env[name] = coords[axis] if axis < len(coords) else 0
-        value, invalid, _intish = _aeval(self.ast, env)
+        value, invalid, _intish = _aeval(self.ast, env, env_int)
         n = len(access_values[0]) if len(access_values) else len(coords[0])
-        out = np.asarray(value, dtype=np.float64)
+        out = np.asarray(value)
+        poison = invalid is not None and bool(invalid.any())
+        out_dtype = np.dtype(out_dtype)
+        if out_dtype.kind in "iu":
+            if poison or (out.dtype.kind == "f"
+                          and not np.isfinite(out).all()):
+                kind = "infinity" if (not poison
+                                      and not np.isnan(out).any()) \
+                    else "NaN"
+                raise ValueError(
+                    f"cannot convert float {kind} to integer")
+            if out.dtype != out_dtype:
+                # float -> int truncates toward zero, exactly like the
+                # scalar engine's element store into the output array.
+                out = out.astype(out_dtype)
+        else:
+            if out.dtype != out_dtype:
+                out = out.astype(out_dtype)
+            if poison:
+                out = np.where(invalid, np.nan, out)
         if out.shape != (n,):
             out = np.broadcast_to(out, (n,)).copy()
-        if invalid is not None and invalid.any():
-            out = np.where(invalid, np.nan, out)
         return out

@@ -78,8 +78,10 @@ class SimulatorConfig:
             ``"batched"`` uses the NumPy batched engine
             (:class:`~repro.simulator.batched.BatchedSimulator`), which
             produces identical observable state at a fraction of the
-            cost; ``"auto"`` picks the batched engine unless the
-            configuration would defeat batching (fractional link rates).
+            cost; ``"auto"`` picks the batched engine for every
+            supported configuration — fractional link rates, integer
+            element types, and multi-device placements are all batched
+            natively.
         max_batch_words: upper bound on how many words the batched
             engine executes per planning step (bounds its transient
             memory; no effect on results).
@@ -149,11 +151,13 @@ class Simulator:
         return size + self.config.min_channel_depth
 
     # -- construction hooks (overridden by the batched engine) ---------------
+    # ``data`` names the field the edge carries; the batched engine uses
+    # it to pick the slab dtype (int64 for integer-typed streams).
 
-    def _make_channel(self, name: str, capacity: int):
+    def _make_channel(self, name: str, capacity: int, data: str):
         return Channel(name, capacity)
 
-    def _make_link(self, name: str, capacity: int):
+    def _make_link(self, name: str, capacity: int, data: str):
         config = self.config
         return NetworkLink(name, capacity,
                            latency=config.network_latency,
@@ -181,11 +185,12 @@ class Simulator:
                 # Remote streams need credits covering the wire latency
                 # on top of the computed delay buffer.
                 link = self._make_link(
-                    name, capacity + config.network_latency)
+                    name, capacity + config.network_latency, edge.data)
                 self.channels[key] = link
                 self.links.append(link)
             else:
-                self.channels[key] = self._make_channel(name, capacity)
+                self.channels[key] = self._make_channel(name, capacity,
+                                                        edge.data)
 
         index_names = program.index_names
         for name, spec in program.inputs.items():
@@ -301,31 +306,18 @@ def deadlock_error(units, now: int, prefix: str = None) -> DeadlockError:
                          blocked_units=tuple(n for n, _ in blocked))
 
 
-def _has_integer_fields(program: StencilProgram) -> bool:
-    """Whether any data container carries an integer element type.
-
-    The batched engine streams float64 slabs, which are only bit-exact
-    for integers up to 2**53 — integer programs keep the scalar engine
-    under ``"auto"``.
-    """
-    if any(spec.dtype.is_integer for spec in program.inputs.values()):
-        return True
-    return any(program.field_dtype(s.name).is_integer
-               for s in program.stencils)
-
-
 def resolve_engine_mode(config: SimulatorConfig,
                         device_of: Optional[Mapping[str, int]] = None,
                         program: Optional[StencilProgram] = None
                         ) -> str:
     """Resolve ``config.engine_mode`` to a concrete engine name.
 
-    ``"auto"`` prefers the batched engine; it falls back to the scalar
-    engine when fractional network rates would force the batched engine
-    to step cycle-by-cycle anyway (batched fractional-rate links are a
-    known follow-up, see ROADMAP), and for integer-typed programs,
-    where float64 slabs could not preserve bitwise equivalence beyond
-    2**53.
+    ``"auto"`` picks the batched engine for every supported
+    configuration: fractional link rates batch through the closed-form
+    credit schedule, integer-typed programs stream native int64 slabs
+    (bit-exact to 2**63), and multi-device placements batch across the
+    full in-flight ring.  ``device_of`` and ``program`` are accepted
+    for call-site compatibility; selection no longer depends on them.
     """
     mode = config.engine_mode
     if mode not in ("auto", "scalar", "batched"):
@@ -334,23 +326,7 @@ def resolve_engine_mode(config: SimulatorConfig,
             f"(expected 'auto', 'scalar', or 'batched')")
     if mode != "auto":
         return mode
-    if device_of and config.network_words_per_cycle != 1.0:
-        # Only an actually-remote edge creates a fractional-rate link;
-        # without the program we must assume one exists.
-        if program is None or _any_remote_edge(program, device_of):
-            return "scalar"
-    if program is not None and _has_integer_fields(program):
-        return "scalar"
     return "batched"
-
-
-def _any_remote_edge(program: StencilProgram,
-                     device_of: Mapping[str, int]) -> bool:
-    graph = StencilGraph(program)
-    return any(
-        _node_device(graph, edge.src, device_of)
-        != _node_device(graph, edge.dst, device_of)
-        for edge in graph.edges)
 
 
 def make_simulator(analysis, config: SimulatorConfig = None,

@@ -40,7 +40,34 @@ class TestCLI:
     def test_run_validates(self, program_file, capsys):
         assert main(["run", str(program_file)]) == 0
         out = capsys.readouterr().out
+        assert "engine: batched" in out
         assert "validated against reference: True" in out
+
+    def test_run_scalar_engine(self, program_file, capsys):
+        assert main(["run", str(program_file), "--engine",
+                     "scalar"]) == 0
+        assert "engine: scalar" in capsys.readouterr().out
+
+    def test_run_shape_override(self, program_file, capsys):
+        assert main(["run", str(program_file), "--shape",
+                     "4,8,8"]) == 0
+        assert "validated against reference: True" in \
+            capsys.readouterr().out
+
+    def test_run_multi_device_fractional_rate(self, program_file,
+                                              capsys):
+        # Fractional link rates are drivable from the CLI and still
+        # run on the batched engine.
+        assert main(["run", str(program_file), "--devices", "2",
+                     "--network-words-per-cycle", "0.5",
+                     "--network-latency", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: batched (2 devices, link rate 0.5" in out
+        assert "validated against reference: True" in out
+
+    def test_run_rejects_bad_shape(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", str(program_file), "--shape", "4x8x8"])
 
     def test_missing_command(self):
         with pytest.raises(SystemExit):

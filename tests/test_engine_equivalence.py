@@ -125,33 +125,44 @@ def _int_program(code="a[i-1] + a[i] * 2", dtype="int32",
 
 
 def test_integer_program_small_values_equivalent():
-    # Within float64's exact-integer range the batched engine (forced)
-    # still matches the scalar engine bitwise.
     program = _int_program()
     inputs = {"a": np.arange(32, dtype=np.int32)}
     assert_equivalent(program, inputs)
 
 
-def test_integer_program_auto_uses_scalar():
-    # Beyond 2**53 float64 slabs cannot be bit-exact; "auto" keeps the
-    # scalar engine for integer-typed programs.
+def test_integer_program_auto_batches_beyond_2_53():
+    # Integer streams ride int64 slabs: "auto" now selects the batched
+    # engine for integer-typed programs, bit-exact far beyond float64's
+    # 2**53 integer range.
     program = _int_program(dtype="int64")
     assert resolve_engine_mode(SimulatorConfig(),
-                               program=program) == "scalar"
+                               program=program) == "batched"
     inputs = {"a": np.full(32, (1 << 60) + 1, dtype=np.int64)}
-    auto = simulate(program, inputs, SimulatorConfig())
-    scalar = simulate(program, inputs,
-                      SimulatorConfig(engine_mode="scalar"))
-    np.testing.assert_array_equal(auto.outputs["s"], scalar.outputs["s"])
+    scalar, batched = assert_equivalent(program, inputs)
+    # Sanity: the values really exceed float64's exact-integer range.
+    assert int(scalar.outputs["s"][1]) == 3 * ((1 << 60) + 1)
 
 
-def test_integer_overflow_rejected_by_forced_batched():
-    # Forcing the batched engine on out-of-range integers must fail
-    # loudly instead of silently rounding through float64.
-    program = _int_program(dtype="int64")
-    inputs = {"a": np.full(32, (1 << 60) + 1, dtype=np.int64)}
-    with pytest.raises(SimulationError, match="2\\*\\*53"):
+def test_uint64_overflow_rejected_by_batched():
+    # uint64 values beyond int64's range cannot ride int64 slabs; the
+    # batched engine must fail loudly instead of wrapping.
+    program = _int_program(code="a[i] + 1", dtype="uint64",
+                           boundary={"a": {"type": "constant",
+                                           "value": 0}})
+    inputs = {"a": np.full(32, (1 << 63) + 7, dtype=np.uint64)}
+    with pytest.raises(SimulationError, match="2\\*\\*63"):
         simulate(program, inputs, SimulatorConfig(engine_mode="batched"))
+
+
+def test_integer_sink_overflow_raises_in_both_engines():
+    # int32 output receiving a result beyond int32 range: the scalar
+    # engine's per-element store raises OverflowError; the batched
+    # slab store must do the same instead of wrapping.
+    program = _int_program(code="a[i] * 65536")
+    inputs = {"a": np.full(32, 1 << 16, dtype=np.int32)}
+    for mode in ("scalar", "batched"):
+        with pytest.raises(OverflowError, match="out of bounds"):
+            simulate(program, inputs, SimulatorConfig(engine_mode=mode))
 
 
 def test_integer_output_nan_raises_in_both_engines():
@@ -232,13 +243,192 @@ class TestMultiDevice:
         assert_equivalent(program, lst1_inputs(), device_of={
             "b0": 0, "b1": 0, "b2": 0, "b3": 1, "b4": 1})
 
-    def test_fractional_link_rate_falls_back_scalar(self):
-        # words_per_cycle != 1 cannot batch; the batched engine must
-        # step those cycles scalar and still match exactly.
+    def test_four_device_chain(self):
+        program = chain_program(4, shape=(4, 8, 8))
+        assert_equivalent(program, random_inputs(program),
+                          device_of={f"s{n}": n for n in range(4)})
+
+    def test_deep_links_lift_in_flight_bound(self):
+        # A wire latency comparable to the whole run used to cap every
+        # batch at ~latency cycles; the lifted bound must stay exact.
+        program = chain_program(3, shape=(4, 8, 8))
+        assert_equivalent(program, random_inputs(program),
+                          device_of={"s0": 0, "s1": 1, "s2": 2},
+                          network_latency=64)
+
+    @pytest.mark.parametrize("rate", [0.25, 0.5, 1.5])
+    def test_fractional_link_rates_batch_exactly(self, rate):
+        # words_per_cycle != 1 batches through the closed-form credit
+        # schedule and must still match the scalar engine exactly.
         program = chain_program(2, shape=(4, 4, 8))
         assert_equivalent(program, random_inputs(program),
                           device_of={"s0": 0, "s1": 1},
-                          network_words_per_cycle=0.25)
+                          network_words_per_cycle=rate)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fractional_rate_fuzz(self, seed):
+        # Random rates x random placements x random wire latencies.
+        rng = np.random.default_rng(1000 + seed)
+        program = chain_program(int(rng.integers(2, 5)), shape=(4, 4, 8))
+        names = program.stencil_names
+        devices = int(rng.integers(2, min(4, len(names)) + 1))
+        split = sorted(rng.choice(
+            np.arange(1, len(names)), size=devices - 1, replace=False))
+        device_of = {}
+        for idx, name in enumerate(names):
+            device_of[name] = sum(idx >= s for s in split)
+        rate = float(rng.choice([0.25, 0.5, 0.75, 1.5]))
+        latency = int(rng.choice([1, 4, 32, 64]))
+        assert_equivalent(program, random_inputs(program),
+                          device_of=device_of,
+                          network_words_per_cycle=rate,
+                          network_latency=latency)
+
+
+class TestIntegerPrograms:
+    @pytest.mark.parametrize("dtype", ["int32", "int64", "uint16"])
+    def test_dtype_fuzz(self, dtype):
+        # Integer arithmetic (+, -, *, min/max, ternary selection) must
+        # be exactly equal through int64 slabs.
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": dtype, "dims": ["i", "j"]}},
+            "outputs": ["t"],
+            "shape": [8, 8],
+            "program": {
+                "s": {"code": "a[i-1,j] + a[i,j] * 3 - a[i,j+1]",
+                      "boundary_condition": {
+                          "a": {"type": "constant", "value": 2}}},
+                "t": {"code": "min(max(s[i,j-1], -s[i,j]), 100 + s[i,j])",
+                      "boundary_condition": {
+                          "s": {"type": "copy"}}},
+            },
+        })
+        rng = np.random.default_rng(7)
+        inputs = {"a": rng.integers(0, 50, (8, 8)).astype(dtype)}
+        assert_equivalent(program, inputs)
+
+    def test_integer_multi_device(self):
+        # Integer slabs must survive network links (int64 ring rows).
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "int64", "dims": ["i"]}},
+            "outputs": ["t"],
+            "shape": [32],
+            "program": {
+                "s": {"code": "a[i-1] + a[i] * 2",
+                      "boundary_condition": {
+                          "a": {"type": "constant", "value": 3}}},
+                "t": {"code": "s[i] - s[i+1]",
+                      "boundary_condition": {
+                          "s": {"type": "constant", "value": 0}}},
+            },
+        })
+        inputs = {"a": np.arange(32, dtype=np.int64) + (1 << 55)}
+        assert_equivalent(program, inputs,
+                          device_of={"s": 0, "t": 1})
+
+    @pytest.mark.parametrize("fill", [2.5, "shrink"])
+    def test_float_leaking_boundaries_on_integer_fields(self, fill):
+        # A shrink (NaN) or float-constant fill on an integer field
+        # injects float lanes invisible to type inference; the affected
+        # streams must be demoted to float64 slabs so the floats flow
+        # downstream exactly as the scalar engine's Python floats do.
+        boundary = "shrink" if fill == "shrink" else {
+            "a": {"type": "constant", "value": fill}}
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "int32", "dims": ["i", "j"]}},
+            "outputs": ["t"],
+            "shape": [8, 8],
+            "program": {
+                "s": {"code": "a[i-1,j] * 3 + a[i,j+1]",
+                      "boundary_condition": boundary},
+                "t": {"code": "s[i,j-1] + s[i,j] * 2",
+                      "boundary_condition": {
+                          "s": {"type": "constant", "value": 0}}},
+            },
+        })
+        from repro.simulator.batched import float_leaky_streams
+        kind = "nan" if fill == "shrink" else "float"
+        assert float_leaky_streams(program) == {"s": kind, "t": kind}
+        rng = np.random.default_rng(11)
+        inputs = {"a": rng.integers(-20, 20, (8, 8)).astype(np.int32)}
+        if fill == "shrink":
+            # NaN fills reach the int-typed sink: both engines raise
+            # the same integer-store error.
+            for mode in ("scalar", "batched"):
+                with pytest.raises(ValueError, match="NaN"):
+                    simulate(program, inputs,
+                             SimulatorConfig(engine_mode=mode))
+        else:
+            assert_equivalent(program, inputs)
+
+    def test_int64_overflow_raises_instead_of_wrapping(self):
+        # An intermediate beyond int64 (exact in the scalar engine's
+        # Python ints) must fail loudly, not silently wrap.
+        program = _int_program(code="(a[i] * a[i]) > 100 ? 1 : 0",
+                               dtype="int64")
+        inputs = {"a": np.full(32, 1 << 32, dtype=np.int64)}
+        scalar = simulate(program, inputs,
+                          SimulatorConfig(engine_mode="scalar"))
+        assert int(scalar.outputs["s"][0]) == 1
+        with pytest.raises(SimulationError, match="overflows int64"):
+            simulate(program, inputs,
+                     SimulatorConfig(engine_mode="batched"))
+
+    def test_int64_min_times_minus_one_raises(self):
+        # floor_divide(int64_min, -1) wraps back to int64_min, so the
+        # divide-back overflow check must special-case right == -1.
+        program = _int_program(code="a[i] * -1", dtype="int64",
+                               boundary={"a": {"type": "constant",
+                                               "value": 0}})
+        inputs = {"a": np.full(32, np.iinfo(np.int64).min,
+                               dtype=np.int64)}
+        with pytest.raises(OverflowError):
+            simulate(program, inputs,
+                     SimulatorConfig(engine_mode="scalar"))
+        with pytest.raises((SimulationError, OverflowError)):
+            simulate(program, inputs,
+                     SimulatorConfig(engine_mode="batched"))
+
+    def test_demoted_stream_keeps_integer_zero_signs(self):
+        # A NaN-demoted integer stream rides float64 slabs, but its
+        # non-NaN lanes are still Python ints in cell mode: negating an
+        # integer zero must not produce -0.0 downstream.
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "int32", "dims": ["i"]}},
+            "outputs": ["c"],
+            "shape": [8],
+            "program": {
+                "b": {"code": "a[i-1] + a[i]",
+                      "boundary_condition": "shrink"},
+                "c": {"code": "atan2(-b[i] * 1.0, -1.0)",
+                      "boundary_condition": {
+                          "b": {"type": "constant", "value": 0}}},
+            },
+        })
+        inputs = {"a": np.zeros(8, dtype=np.int32)}
+        scalar, _ = assert_equivalent(program, inputs)
+        # Sanity: the sign actually matters here (atan2(+0, -1) = pi).
+        assert scalar.outputs["c"][1] > 3
+
+    def test_mixed_int_float_fields(self):
+        program = StencilProgram.from_json({
+            "inputs": {
+                "a": {"dtype": "int32", "dims": ["i", "j"]},
+                "w": {"dtype": "float32", "dims": ["i", "j"]},
+            },
+            "outputs": ["t"],
+            "shape": [8, 8],
+            "program": {
+                "t": {"code": "a[i-1,j] * w[i,j] + a[i,j+1]",
+                      "boundary_condition": {
+                          "a": {"type": "constant", "value": 1},
+                          "w": {"type": "copy"}}},
+            },
+        })
+        rng = np.random.default_rng(3)
+        inputs = {"a": rng.integers(-9, 9, (8, 8)).astype(np.int32),
+                  "w": rng.random((8, 8), dtype=np.float32)}
+        assert_equivalent(program, inputs)
 
 
 class TestFailureModes:
@@ -340,22 +530,15 @@ class TestEngineSelection:
         simulator = make_simulator(chain_program(2))
         assert isinstance(simulator, BatchedSimulator)
 
-    def test_auto_avoids_unbatchable_links(self):
+    def test_auto_batches_fractional_links(self):
+        # Fractional-rate links no longer defeat batching: "auto"
+        # selects the batched engine regardless of rate or placement.
         config = SimulatorConfig(network_words_per_cycle=0.5)
-        assert resolve_engine_mode(config, {"s1": 1}) == "scalar"
+        assert resolve_engine_mode(config, {"s1": 1}) == "batched"
         assert resolve_engine_mode(config) == "batched"
-
-    def test_auto_ignores_single_device_placements(self):
-        # A placement with every stencil on one device creates no
-        # links, so fractional rates are irrelevant and the batched
-        # engine stays selected.
         program = chain_program(2)
-        config = SimulatorConfig(network_words_per_cycle=0.5)
-        placement = {"s0": 1, "s1": 1}
-        assert resolve_engine_mode(config, placement,
+        assert resolve_engine_mode(config, {"s0": 0, "s1": 1},
                                    program) == "batched"
-        split = {"s0": 0, "s1": 1}
-        assert resolve_engine_mode(config, split, program) == "scalar"
 
     def test_explicit_modes(self):
         assert resolve_engine_mode(
