@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command> program.json``.
+"""Command-line interface: ``python -m repro <command> <program>``.
 
 Mirrors the workflow of Fig. 13 from the shell:
 
@@ -8,16 +8,19 @@ Mirrors the workflow of Fig. 13 from the shell:
   directory.
 * ``run``      — simulate with random (or zero) inputs and validate
   against the sequential reference.
+* ``explore``  — sweep the mapping design space (vectorization,
+  devices, placement, network) and rank the surviving configurations.
+* ``list-programs`` — show the bundled program catalog.
+
+``<program>`` is either a JSON program description or a catalog name
+(``repro list-programs``); short aliases like ``hdiff`` work too.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
-
-import numpy as np
 
 from .analysis import analyze_buffers, certify_analysis
 from .codegen import generate_package
@@ -28,6 +31,7 @@ from .perf import (
     model_performance,
     program_census,
 )
+from .programs import ALIASES, available_programs, build
 from .run import Session
 
 
@@ -37,14 +41,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="StencilFlow reproduction command-line driver")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    program_help = ("JSON program description, or a catalog name "
+                    "(see list-programs)")
     for name, help_text in (
             ("info", "summarize a stencil program"),
             ("analyze", "buffering analysis and deadlock certificate"),
             ("codegen", "generate the OpenCL/host code package"),
             ("run", "simulate and validate a program")):
         command = sub.add_parser(name, help=help_text)
-        command.add_argument("program", type=Path,
-                             help="JSON program description")
+        command.add_argument("program", help=program_help)
         if name == "codegen":
             command.add_argument("--output", "-o", type=Path,
                                  default=Path("generated"),
@@ -63,9 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
                                       "128,128,80)")
             command.add_argument("--devices", type=int, default=1,
                                  help="split the stencil pipeline "
-                                      "contiguously across this many "
-                                      "devices (edges crossing devices "
-                                      "become network links)")
+                                      "across this many devices (the "
+                                      "device budget when --partition "
+                                      "is 'auto'); edges crossing "
+                                      "devices become network links")
+            command.add_argument("--partition", default="contiguous",
+                                 choices=("contiguous", "auto"),
+                                 help="placement strategy: 'contiguous' "
+                                      "cuts the pipeline in program "
+                                      "order, 'auto' uses the resource-"
+                                      "driven partitioner (Sec. III-B)")
             command.add_argument("--network-words-per-cycle",
                                  type=float, default=1.0,
                                  metavar="RATE",
@@ -78,6 +90,52 @@ def build_parser() -> argparse.ArgumentParser:
                                  default=32, metavar="CYCLES",
                                  help="propagation latency of inter-"
                                       "device links")
+
+    explore = sub.add_parser(
+        "explore",
+        help="sweep the mapping design space and rank configurations")
+    explore.add_argument("--program", required=True, help=program_help)
+    explore.add_argument("--shape", type=_parse_shape, default=None,
+                         metavar="I,J,K",
+                         help="override the iteration domain before "
+                              "sweeping")
+    explore.add_argument("--strategy", default="greedy",
+                         choices=("greedy", "exhaustive"),
+                         help="which surviving points to simulate: the "
+                              "top of the analytic ranking (greedy "
+                              "beam) or all of them")
+    explore.add_argument("--beam", type=int, default=8,
+                         help="beam width of the greedy strategy")
+    explore.add_argument("--widths", type=_parse_int_list, default=None,
+                         metavar="W,W,...",
+                         help="vectorization widths to consider "
+                              "(default: powers of two up to the "
+                              "innermost extent)")
+    explore.add_argument("--max-devices", type=int, default=4,
+                         help="largest device count in the space")
+    explore.add_argument("--rates", type=_parse_float_list,
+                         default=(1.0,), metavar="R,R,...",
+                         help="network link rates to consider")
+    explore.add_argument("--latencies", type=_parse_int_list,
+                         default=(32,), metavar="L,L,...",
+                         help="network latencies to consider")
+    explore.add_argument("--depths", type=_parse_int_list,
+                         default=(8,), metavar="D,D,...",
+                         help="minimum channel depths to consider")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="random-input seed")
+    explore.add_argument("--workers", type=int, default=None,
+                         help="parallel simulator evaluations")
+    explore.add_argument("--output", "-o", type=Path,
+                         default=Path("explore_report.json"),
+                         help="where to write the ranked JSON report")
+    explore.add_argument("--cache", type=Path, default=None,
+                         help="JSON result-cache file; loaded when "
+                              "present, updated after the sweep "
+                              "(makes repeated sweeps incremental)")
+
+    sub.add_parser("list-programs",
+                   help="list the bundled program catalog")
     return parser
 
 
@@ -93,14 +151,46 @@ def _parse_shape(text: str):
     return shape
 
 
+def _parse_int_list(text: str):
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid list {text!r} (expected e.g. 1,2,4)")
+
+
+def _parse_float_list(text: str):
+    try:
+        return tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid list {text!r} (expected e.g. 1.0,0.5)")
+
+
+def _load_program(spec: str) -> StencilProgram:
+    """Resolve a program argument: a JSON file path or a catalog name.
+
+    Anything that exists on disk — or looks like a path — is read as a
+    JSON description; everything else goes through the catalog, whose
+    unknown-name errors suggest close matches.
+    """
+    path = Path(spec)
+    if path.is_file() or spec.endswith(".json") or "/" in spec:
+        return StencilProgram.from_json_file(path)
+    return build(spec)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    program = StencilProgram.from_json_file(args.program)
+    if args.command == "list-programs":
+        return _list_programs(args)
+    program = _load_program(args.program)
     handler = {
         "info": _info,
         "analyze": _analyze,
         "codegen": _codegen,
         "run": _run,
+        "explore": _explore,
     }[args.command]
     return handler(program, args)
 
@@ -155,32 +245,28 @@ def _codegen(program: StencilProgram, args) -> int:
 
 
 def _run(program: StencilProgram, args) -> int:
+    from .explore import default_inputs
     from .simulator import SimulatorConfig, resolve_engine_mode
 
     if args.shape is not None:
         program = program.with_shape(args.shape)
-    rng = np.random.default_rng(args.seed)
-    inputs = {}
-    for name, spec in program.inputs.items():
-        shape = spec.shape(program.shape, program.index_names)
-        inputs[name] = rng.random(shape).astype(spec.dtype.numpy) \
-            if shape else spec.dtype.numpy.type(rng.random())
+    inputs = default_inputs(program, args.seed)
 
-    device_of = None
-    if args.devices > 1:
-        from .distributed import contiguous_device_split
-        device_of = contiguous_device_split(program, args.devices)
     config = SimulatorConfig(
         engine_mode=args.engine,
         network_words_per_cycle=args.network_words_per_cycle,
         network_latency=args.network_latency)
 
     session = Session(program)
+    device_of = None
+    if args.devices > 1 or args.partition != "contiguous":
+        device_of = session.placement(args.partition, args.devices)
     result = session.run(inputs, config=config, device_of=device_of)
     sim = result.simulation
     devices = 1 + max(device_of.values()) if device_of else 1
     print(f"engine: {resolve_engine_mode(config, device_of, program)} "
           f"({devices} device{'s' if devices != 1 else ''}, "
+          f"{args.partition} placement, "
           f"link rate {args.network_words_per_cycle:g} words/cycle)")
     print(f"simulated {sim.cycles} cycles "
           f"(Eq. 1 model: {sim.expected_cycles}, "
@@ -188,6 +274,59 @@ def _run(program: StencilProgram, args) -> int:
     print(f"continuous output: {all(sim.output_continuous.values())}")
     print(f"validated against reference: {result.validated}")
     return 0 if result.validated else 1
+
+
+def _explore(program: StencilProgram, args) -> int:
+    from .explore import ConfigSpace, ResultCache, explore
+
+    if args.shape is not None:
+        program = program.with_shape(args.shape)
+    default = ConfigSpace.default_for(program,
+                                      max_devices=args.max_devices)
+    space = ConfigSpace(
+        vectorizations=(tuple(args.widths) if args.widths
+                        else default.vectorizations),
+        device_counts=default.device_counts,
+        partitions=default.partitions,
+        network_rates=tuple(args.rates),
+        network_latencies=tuple(args.latencies),
+        channel_depths=tuple(args.depths),
+    )
+    cache = ResultCache()
+    if args.cache is not None and args.cache.exists():
+        cache = ResultCache.load(args.cache)
+    report = explore(program, space=space, strategy=args.strategy,
+                     beam_width=args.beam, seed=args.seed,
+                     workers=args.workers, cache=cache)
+    print("\n".join(report.summary_lines()))
+    report.save(args.output)
+    print(f"wrote {args.output} ({report.total_points} points, "
+          f"{report.simulated_points} simulated, "
+          f"{report.cache_hits} cache hits)")
+    if args.cache is not None:
+        cache.save(args.cache)
+    return 0
+
+
+def _list_programs(args) -> int:
+    alias_of = {}
+    for alias, target in ALIASES.items():
+        alias_of.setdefault(target, []).append(alias)
+    print("bundled programs:")
+    for name in available_programs():
+        program = build(name)
+        aliases = alias_of.get(name)
+        alias_text = f" (alias: {', '.join(sorted(aliases))})" \
+            if aliases else ""
+        shape = "x".join(str(e) for e in program.shape)
+        print(f"  {name:<22} {shape:>12}  "
+              f"{len(program.stencils):>2} stencils, "
+              f"{len(program.outputs)} output"
+              f"{'s' if len(program.outputs) != 1 else ''}"
+              f"{alias_text}")
+    print("any 'run'/'info'/'analyze'/'codegen'/'explore' command "
+          "accepts these names in place of a JSON file")
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,128 @@
+"""Simulation-result cache for incremental design-space sweeps.
+
+Entries are keyed by the *simulated machine*: a fingerprint of the
+program (modulo vectorization — the width is part of the configuration)
+plus the effective placement and machine tunables.  Two sweeps over
+overlapping spaces therefore share results, and distinct configuration
+points that induce the same machine (``auto`` and ``contiguous``
+placements that coincide) hit the same entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.program import StencilProgram
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """What one simulation of one machine produced.
+
+    Attributes:
+        simulated_cycles: cycles until the last sink completed.
+        sim_expected_cycles: the simulator's own Eq. 1 bookkeeping.
+        wall_seconds: wall time of the simulation that produced this
+            entry (kept on cache hits so reports can show the cost the
+            hit avoided).
+        engine: the engine that ran (``"batched"`` / ``"scalar"``).
+    """
+
+    simulated_cycles: int
+    sim_expected_cycles: int
+    wall_seconds: float
+    engine: str
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "Measurement":
+        return cls(simulated_cycles=int(spec["simulated_cycles"]),
+                   sim_expected_cycles=int(spec["sim_expected_cycles"]),
+                   wall_seconds=float(spec["wall_seconds"]),
+                   engine=str(spec["engine"]))
+
+
+def program_fingerprint(program: StencilProgram) -> str:
+    """Identity of a program *modulo vectorization*.
+
+    The width is a configuration axis, so it is normalized out; any
+    other change (shape, code, boundary conditions...) changes the
+    fingerprint and invalidates cached results.
+    """
+    spec = program.to_json()
+    spec["vectorization"] = 1
+    canonical = json.dumps(spec, sort_keys=True)
+    return hashlib.sha1(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Thread-safe, JSON-serializable map of machines to measurements.
+
+    ``hits``/``misses`` count lookups since construction (or
+    :meth:`reset_stats`); the explorer reports them so users can see a
+    repeated sweep being incremental.
+    """
+
+    def __init__(self):
+        self._entries: Dict[str, Measurement] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def entry_key(fingerprint: str, simulation_key) -> str:
+        text = json.dumps([fingerprint, list(map(repr, simulation_key))])
+        return hashlib.sha1(text.encode()).hexdigest()
+
+    def get(self, fingerprint: str,
+            simulation_key) -> Optional[Measurement]:
+        key = self.entry_key(fingerprint, simulation_key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def put(self, fingerprint: str, simulation_key,
+            measurement: Measurement):
+        key = self.entry_key(fingerprint, simulation_key)
+        with self._lock:
+            self._entries[key] = measurement
+
+    def reset_stats(self):
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {key: entry.to_json()
+                for key, entry in sorted(self._entries.items())}
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "ResultCache":
+        cache = cls()
+        for key, entry in spec.items():
+            cache._entries[key] = Measurement.from_json(entry)
+        return cache
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path) -> "ResultCache":
+        with open(path) as handle:
+            return cls.from_json(json.load(handle))

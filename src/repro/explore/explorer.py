@@ -1,0 +1,260 @@
+"""The design-space explorer: model-guided autotuning (Fig. 13 closed
+into a loop).
+
+``explore`` enumerates a configuration space, prices every point with
+the analytic models (pruning what cannot work or cannot win), validates
+the surviving frontier on the batched cycle-level simulator — in
+parallel, with results cached so repeated sweeps are incremental — and
+returns a ranked :class:`~repro.explore.report.ExplorationReport`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.program import StencilProgram
+from ..hardware.platform import FPGAPlatform, STRATIX10
+from ..simulator.engine import (
+    SimulatorConfig,
+    resolve_engine_mode,
+    simulate,
+)
+from .cache import Measurement, ResultCache, program_fingerprint
+from .prune import Prediction, Pruner
+from .report import ExplorationEntry, ExplorationReport
+from .search import GreedySearch, SearchStrategy, get_strategy
+from .space import ConfigPoint, ConfigSpace
+
+#: Default parallelism of the simulation stage.
+_DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def default_inputs(program: StencilProgram,
+                   seed: int = 0) -> Dict[str, np.ndarray]:
+    """Deterministic random inputs for ``program`` (the CLI's scheme)."""
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for name, spec in program.inputs.items():
+        shape = spec.shape(program.shape, program.index_names)
+        if shape:
+            inputs[name] = rng.random(shape).astype(spec.dtype.numpy)
+        else:
+            inputs[name] = spec.dtype.numpy.type(rng.random())
+    return inputs
+
+
+def baseline_point(program: StencilProgram) -> ConfigPoint:
+    """The configuration ``repro run`` uses when no flag is given."""
+    return ConfigPoint(vectorization=program.vectorization)
+
+
+def explore(program: StencilProgram,
+            platform: FPGAPlatform = STRATIX10,
+            space: Optional[ConfigSpace] = None,
+            strategy: Union[str, SearchStrategy] = "greedy",
+            beam_width: int = 8,
+            seed: int = 0,
+            workers: Optional[int] = None,
+            cache: Optional[ResultCache] = None,
+            engine_mode: str = "auto",
+            inputs: Optional[Mapping[str, np.ndarray]] = None
+            ) -> ExplorationReport:
+    """Sweep ``program``'s design space and rank what survives.
+
+    Args:
+        program: the stencil program (its own vectorization defines the
+            baseline configuration).
+        platform: modeled target device.
+        space: the configuration space (defaults to
+            :meth:`ConfigSpace.default_for`). The baseline point is
+            always appended when the space does not contain it.
+        strategy: ``"exhaustive"``, ``"greedy"``/``"beam"``, or a
+            :class:`SearchStrategy` instance.
+        beam_width: beam size for the greedy strategy.
+        seed: input-generation seed (part of the determinism contract).
+        workers: simulator parallelism (``concurrent.futures`` threads;
+            the batched engine spends its time in NumPy).
+        cache: simulation-result cache; pass the same instance (or a
+            loaded one) across sweeps to make them incremental.
+        engine_mode: simulator engine selection per point.
+        inputs: concrete input arrays (generated from ``seed`` when
+            omitted).
+    """
+    start = time.perf_counter()
+    space = space or ConfigSpace.default_for(program, platform)
+    cache = cache if cache is not None else ResultCache()
+    cache.reset_stats()
+    if isinstance(strategy, str) and strategy in ("greedy", "beam"):
+        strategy = GreedySearch(beam_width=beam_width)
+    else:
+        strategy = get_strategy(strategy)
+
+    base = baseline_point(program)
+    points = list(space.points())
+    if base not in points:
+        points.append(base)
+
+    # Stage 1: analytic pricing and pruning.
+    pruner = Pruner(program, platform)
+    predictions = [pruner.predict(point) for point in points]
+    by_point = {p.point: p for p in predictions}
+
+    # Stage 2: the strategy picks the frontier worth simulating; the
+    # baseline is always validated so the report can quote a speedup.
+    selected = list(strategy.select(predictions, baseline=base))
+    base_prediction = by_point[base]
+    if base_prediction.feasible and base not in selected:
+        selected.append(base)
+
+    # Stage 3: simulate the frontier in parallel. Points that build
+    # identical machines share one simulation through the cache key.
+    fingerprint = program_fingerprint(program)
+    if inputs is None:
+        inputs = default_inputs(program, seed)
+    measurements = _simulate_frontier(
+        pruner, [by_point[p] for p in selected], fingerprint, inputs,
+        engine_mode, cache, workers)
+
+    # Stage 4: assemble, rank, and mark the Pareto frontier.
+    entries = _build_entries(predictions, measurements, base)
+    report = ExplorationReport(
+        program=program.name,
+        shape=tuple(program.shape),
+        platform=platform.name,
+        strategy=strategy.name,
+        seed=seed,
+        space=space,
+        entries=entries,
+        wall_seconds=time.perf_counter() - start,
+        cache_hits=cache.hits,
+    )
+    return report
+
+
+def _simulate_frontier(pruner: Pruner,
+                       predictions: Sequence[Prediction],
+                       fingerprint: str,
+                       inputs: Mapping[str, np.ndarray],
+                       engine_mode: str,
+                       cache: ResultCache,
+                       workers: Optional[int]
+                       ) -> Dict[Tuple, Tuple[Measurement, bool]]:
+    """Measure every distinct machine among ``predictions``.
+
+    Returns ``simulation_key -> (measurement, cache_hit)``.  Duplicate
+    machines (points whose placements coincide) are simulated once.
+    """
+    distinct: Dict[Tuple, Prediction] = {}
+    for prediction in predictions:
+        distinct.setdefault(prediction.simulation_key, prediction)
+
+    def measure(prediction: Prediction) -> Tuple[Measurement, bool]:
+        key = prediction.simulation_key
+        cached = cache.get(fingerprint, key)
+        if cached is not None:
+            return cached, True
+        point = prediction.point
+        prog_w = pruner.program_at(point.vectorization)
+        config = SimulatorConfig(
+            engine_mode=engine_mode,
+            network_words_per_cycle=point.network_words_per_cycle,
+            network_latency=point.network_latency,
+            min_channel_depth=point.min_channel_depth)
+        began = time.perf_counter()
+        result = simulate(prog_w, inputs, config,
+                          device_of=prediction.device_of)
+        measurement = Measurement(
+            simulated_cycles=result.cycles,
+            sim_expected_cycles=result.expected_cycles,
+            wall_seconds=time.perf_counter() - began,
+            engine=resolve_engine_mode(config, prediction.device_of))
+        cache.put(fingerprint, key, measurement)
+        return measurement, False
+
+    ordered = list(distinct.values())
+    max_workers = workers or _DEFAULT_WORKERS
+    if max_workers > 1 and len(ordered) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(measure, ordered))
+    else:
+        results = [measure(p) for p in ordered]
+    return {p.simulation_key: outcome
+            for p, outcome in zip(ordered, results)}
+
+
+def _build_entries(predictions: Sequence[Prediction],
+                   measurements: Mapping[Tuple,
+                                         Tuple[Measurement, bool]],
+                   base: ConfigPoint
+                   ) -> Tuple[ExplorationEntry, ...]:
+    records = []
+    for prediction in predictions:
+        outcome = measurements.get(prediction.simulation_key) \
+            if prediction.feasible else None
+        measurement, cache_hit = outcome if outcome else (None, False)
+        error = None
+        if measurement is not None and prediction.predicted_cycles:
+            error = (measurement.simulated_cycles
+                     / prediction.predicted_cycles) - 1.0
+        records.append((prediction, measurement, cache_hit, error))
+
+    # Rank the simulated machines by measured cycles; deterministic
+    # tie-break on the point identity.
+    simulated = [r for r in records if r[1] is not None]
+    simulated.sort(key=lambda r: (r[1].simulated_cycles,
+                                  r[0].point.key()))
+    rank_of = {id(r): n + 1 for n, r in enumerate(simulated)}
+    pareto_ids = _pareto_ids(simulated)
+
+    entries = []
+    for record in records:
+        prediction, measurement, cache_hit, error = record
+        entries.append(ExplorationEntry(
+            point=prediction.point,
+            feasible=prediction.feasible,
+            prune_reason=prediction.reason,
+            devices_used=prediction.devices_used,
+            predicted_cycles=prediction.predicted_cycles,
+            predicted_runtime_us=prediction.predicted_runtime_us,
+            frequency_mhz=prediction.frequency_mhz,
+            utilization=prediction.utilization,
+            network_headroom=prediction.network_headroom,
+            simulated=measurement is not None,
+            simulated_cycles=(measurement.simulated_cycles
+                              if measurement else None),
+            model_error=error,
+            wall_seconds=(measurement.wall_seconds
+                          if measurement else None),
+            cache_hit=cache_hit,
+            engine=measurement.engine if measurement else None,
+            rank=rank_of.get(id(record)),
+            pareto=id(record) in pareto_ids,
+            baseline=prediction.point == base,
+        ))
+    return tuple(entries)
+
+
+def _pareto_ids(simulated) -> set:
+    """Non-dominated records over (cycles, worst device utilization).
+
+    ``simulated`` arrives sorted by (cycles, point key); scanning in
+    that order and keeping only records no kept record weakly
+    dominates collapses ties (duplicate machines) onto their first
+    representative.
+    """
+    ids = set()
+    kept = []
+    for record in simulated:
+        cycles = record[1].simulated_cycles
+        utilization = record[0].utilization or 0.0
+        if any(k_cycles <= cycles and k_util <= utilization
+               for k_cycles, k_util in kept):
+            continue
+        kept.append((cycles, utilization))
+        ids.add(id(record))
+    return ids

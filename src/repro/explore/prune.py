@@ -1,0 +1,291 @@
+"""Analytic evaluation of configuration points.
+
+Every candidate is priced with the models the paper uses *before*
+committing a design to hardware: the buffering analysis gives the Eq. 1
+cycle prediction, the resource estimator rejects designs that overflow a
+device, and the network model rejects cuts whose streams exceed the
+inter-device links (Sec. VI-B).  Points rejected here are never
+simulated — this is the pruning stage of the explorer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..core.program import StencilProgram
+from ..distributed.partition import (
+    Partition,
+    check_network_feasible,
+    contiguous_device_split,
+    edge_latency_map,
+    partition_fixed,
+    partition_program,
+)
+from ..errors import MappingError
+from ..hardware.platform import FPGAPlatform, ResourceVector, STRATIX10
+from ..hardware.resources import (
+    delay_buffer_resources,
+    estimate_resources,
+)
+from ..perf.pipeline import model_multi_device, model_performance
+from .space import ConfigPoint
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Analytic verdict on one configuration point.
+
+    Attributes:
+        point: the candidate configuration.
+        feasible: whether the point survives every analytic check.
+        reason: why the point was pruned (``None`` when feasible).
+        device_of: effective stencil placement (``None`` when the point
+            maps to a single device).
+        devices_used: devices the placement actually occupies (can be
+            fewer than requested).
+        predicted_cycles: Eq. 1 prediction for the simulated machine
+            (``L + N/W``, scaled by fractional link rates) — directly
+            comparable to ``SimulationResult.cycles``.
+        predicted_runtime_us: modeled wall time on the platform
+            (frequency + memory/network throttling included).
+        frequency_mhz: modeled clock of the design.
+        utilization: worst per-device resource fraction.
+        network_headroom: available/required link bandwidth (``inf``
+            when nothing crosses devices).
+    """
+
+    point: ConfigPoint
+    feasible: bool
+    reason: Optional[str] = None
+    device_of: Optional[Dict[str, int]] = None
+    devices_used: int = 1
+    predicted_cycles: Optional[int] = None
+    predicted_runtime_us: Optional[float] = None
+    frequency_mhz: Optional[float] = None
+    utilization: Optional[float] = None
+    network_headroom: Optional[float] = None
+
+    @property
+    def simulation_key(self) -> Tuple:
+        """Identity of the *simulated machine* this point builds.
+
+        Distinct points can induce identical machines (e.g. ``auto``
+        and ``contiguous`` placements that coincide); they share cache
+        entries through this key.
+        """
+        placement = tuple(sorted((self.device_of or {}).items()))
+        return (self.point.vectorization, placement,
+                self.point.network_words_per_cycle,
+                self.point.network_latency,
+                self.point.min_channel_depth)
+
+
+class Pruner:
+    """Prices configuration points against the analytic models.
+
+    Memoizes per-width programs, analyses, and resource estimates so a
+    sweep over a large space does not repeat work (the same width
+    appears once per device-axis value).
+    """
+
+    def __init__(self, program: StencilProgram,
+                 platform: FPGAPlatform = STRATIX10):
+        self.program = program
+        self.platform = platform
+        self._programs: Dict[int, StencilProgram] = {}
+        self._analyses: Dict[Tuple, BufferingAnalysis] = {}
+        self._estimates: Dict[int, object] = {}
+
+    # -- memoized building blocks -------------------------------------------
+
+    def program_at(self, width: int) -> StencilProgram:
+        if width not in self._programs:
+            self._programs[width] = \
+                self.program.with_vectorization(width)
+        return self._programs[width]
+
+    def analysis_at(self, width: int,
+                    partition: Optional[Partition] = None,
+                    network_latency: int = 0) -> BufferingAnalysis:
+        cut = partition.cut_edges if partition is not None else ()
+        key = (width, cut, network_latency if cut else 0)
+        if key not in self._analyses:
+            edge_latency = None
+            if partition is not None and cut:
+                edge_latency = edge_latency_map(partition,
+                                                network_latency)
+            self._analyses[key] = analyze_buffers(
+                self.program_at(width), edge_latency=edge_latency)
+        return self._analyses[key]
+
+    def estimate_at(self, width: int,
+                    partition: Optional[Partition] = None,
+                    network_latency: int = 0):
+        """Resource estimate keyed like the analysis it derives from.
+
+        Multi-device points price from the latency-aware analysis —
+        network links stretch the delay buffers, and those FIFOs cost
+        real M20K.
+        """
+        cut = partition.cut_edges if partition is not None else ()
+        key = (width, cut, network_latency if cut else 0)
+        if key not in self._estimates:
+            self._estimates[key] = estimate_resources(
+                self.program_at(width), self.platform,
+                self.analysis_at(width, partition, network_latency))
+        return self._estimates[key]
+
+    # -- the verdict ---------------------------------------------------------
+
+    def predict(self, point: ConfigPoint) -> Prediction:
+        """Run every analytic check on ``point``."""
+        program = self.program
+        width = point.vectorization
+        if program.shape[-1] % width != 0:
+            return Prediction(
+                point=point, feasible=False,
+                reason=f"vectorization {width} does not divide the "
+                       f"innermost extent {program.shape[-1]}")
+
+        prog_w = self.program_at(width)
+        try:
+            partition = self._place(prog_w, point)
+        except MappingError as exc:
+            return Prediction(point=point, feasible=False,
+                              reason=f"placement failed: {exc}")
+
+        devices_used = partition.num_devices
+        estimate = self.estimate_at(width, partition,
+                                    point.network_latency)
+        analysis = self.analysis_at(width, partition,
+                                    point.network_latency)
+        overflow = self._device_overflow(partition, estimate, analysis)
+        if overflow is not None:
+            return Prediction(
+                point=point, feasible=False,
+                device_of=dict(partition.device_of),
+                devices_used=devices_used, reason=overflow)
+
+        headroom = float("inf")
+        if devices_used > 1:
+            try:
+                headroom = check_network_feasible(partition,
+                                                  self.platform)
+            except MappingError as exc:
+                return Prediction(
+                    point=point, feasible=False,
+                    device_of=dict(partition.device_of),
+                    devices_used=devices_used, reason=str(exc))
+
+        predicted_cycles = self._eq1_cycles(prog_w, analysis, point,
+                                            devices_used)
+        report = self._platform_report(prog_w, partition, point)
+
+        device_of = dict(partition.device_of) if devices_used > 1 \
+            else None
+        return Prediction(
+            point=point,
+            feasible=True,
+            device_of=device_of,
+            devices_used=devices_used,
+            predicted_cycles=predicted_cycles,
+            predicted_runtime_us=report.runtime_us,
+            frequency_mhz=report.frequency_mhz,
+            utilization=self._worst_utilization(partition, estimate,
+                                                analysis),
+            network_headroom=headroom,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _place(self, prog_w: StencilProgram,
+               point: ConfigPoint) -> Partition:
+        if point.partition == "auto":
+            return partition_program(
+                prog_w, self.platform, max_devices=point.devices,
+                analysis=self.analysis_at(point.vectorization))
+        device_of = contiguous_device_split(prog_w, point.devices)
+        return partition_fixed(prog_w, device_of)
+
+    def _per_device_usage(self, partition: Partition, estimate,
+                          analysis: BufferingAnalysis
+                          ) -> Dict[int, ResourceVector]:
+        """Resources per device: stencil units plus edge FIFOs.
+
+        Each delay buffer is charged to the device of the stencil end
+        of its edge (the consumer when that is a stencil — the reading
+        side holds the FIFO — else the producer).
+        """
+        program = analysis.program
+        usage: Dict[int, ResourceVector] = {}
+        for name, device in partition.device_of.items():
+            unit = estimate.per_stencil[name]
+            usage[device] = usage.get(device, ResourceVector()) + unit
+        for (src, dst, _data), buffer in \
+                analysis.delay_buffers.items():
+            device = 0
+            for node in (dst, src):
+                kind, name = node.split(":", 1)
+                if kind == "stencil":
+                    device = partition.device_of[name]
+                    break
+            usage[device] = usage.get(device, ResourceVector()) \
+                + delay_buffer_resources(program, buffer)
+        return usage
+
+    def _device_overflow(self, partition: Partition, estimate,
+                         analysis: BufferingAnalysis) -> Optional[str]:
+        """A prune reason when any device's share overflows it."""
+        if partition.is_single_device:
+            if not estimate.fits:
+                return (f"design overflows {self.platform.name}: "
+                        f"{estimate.summary()}")
+            return None
+        budget = self.platform.available
+        per_device = self._per_device_usage(partition, estimate,
+                                            analysis)
+        for device, used in sorted(per_device.items()):
+            if not used.fits_in(budget):
+                frac = used.utilization(budget).max_fraction
+                return (f"device {device} overflows "
+                        f"{self.platform.name} "
+                        f"({frac:.0%} of the binding resource)")
+        return None
+
+    def _worst_utilization(self, partition: Partition, estimate,
+                           analysis: BufferingAnalysis) -> float:
+        if partition.is_single_device:
+            return estimate.utilization.max_fraction
+        budget = self.platform.available
+        per_device = self._per_device_usage(partition, estimate,
+                                            analysis)
+        return max(used.utilization(budget).max_fraction
+                   for used in per_device.values())
+
+    def _eq1_cycles(self, prog_w: StencilProgram,
+                    analysis: BufferingAnalysis, point: ConfigPoint,
+                    devices_used: int) -> int:
+        """``C = L + I*N`` against the *simulated* machine.
+
+        Fractional link rates stretch the steady state: each cut stream
+        delivers at most ``rate`` vector words per cycle, so a rate
+        below one throttles the whole pipeline by ``1/rate``.
+        """
+        steady = prog_w.num_cells // prog_w.vectorization
+        rate = point.network_words_per_cycle
+        if devices_used > 1 and rate < 1.0:
+            steady = math.ceil(steady / rate)
+        return analysis.pipeline_latency + steady
+
+    def _platform_report(self, prog_w: StencilProgram,
+                         partition: Partition, point: ConfigPoint):
+        if partition.is_single_device:
+            return model_performance(
+                prog_w, self.platform,
+                analysis=self.analysis_at(point.vectorization))
+        return model_multi_device(prog_w, partition, self.platform,
+                                  network_latency=point.network_latency,
+                                  check_network=False)

@@ -1,0 +1,250 @@
+"""Ranked exploration reports with JSON round-tripping.
+
+The report is the explorer's product: every point of the space with its
+analytic verdict, the simulated validation of the selected frontier,
+per-point model error, a Pareto marking over (cycles, resources), and
+the headline best-vs-baseline comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import List, Mapping, Optional, Tuple
+
+from .space import ConfigPoint, ConfigSpace
+
+
+@dataclass(frozen=True)
+class ExplorationEntry:
+    """One configuration point's full record.
+
+    ``rank`` orders simulated entries by measured cycles (1 = best);
+    unsimulated entries carry ``rank=None``.  ``model_error`` is the
+    signed relative error ``simulated/predicted - 1`` of the Eq. 1
+    prediction.  ``pareto`` marks entries not dominated on
+    (simulated cycles, worst per-device resource utilization).
+    """
+
+    point: ConfigPoint
+    feasible: bool
+    prune_reason: Optional[str] = None
+    devices_used: int = 1
+    predicted_cycles: Optional[int] = None
+    predicted_runtime_us: Optional[float] = None
+    frequency_mhz: Optional[float] = None
+    utilization: Optional[float] = None
+    network_headroom: Optional[float] = None
+    simulated: bool = False
+    simulated_cycles: Optional[int] = None
+    model_error: Optional[float] = None
+    wall_seconds: Optional[float] = None
+    cache_hit: bool = False
+    engine: Optional[str] = None
+    rank: Optional[int] = None
+    pareto: bool = False
+    baseline: bool = False
+
+    def to_json(self) -> dict:
+        record = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "point":
+                value = value.to_json()
+            elif value == float("inf"):
+                value = "inf"
+            record[f.name] = value
+        return record
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "ExplorationEntry":
+        kwargs = {}
+        for f in fields(cls):
+            value = spec[f.name]
+            if f.name == "point":
+                value = ConfigPoint.from_json(value)
+            elif value == "inf":
+                value = float("inf")
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """The ranked outcome of one design-space sweep."""
+
+    program: str
+    shape: Tuple[int, ...]
+    platform: str
+    strategy: str
+    seed: int
+    space: ConfigSpace
+    entries: Tuple[ExplorationEntry, ...]
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def total_points(self) -> int:
+        return len(self.entries)
+
+    @property
+    def feasible_points(self) -> int:
+        return sum(1 for e in self.entries if e.feasible)
+
+    @property
+    def simulated_points(self) -> int:
+        return sum(1 for e in self.entries if e.simulated)
+
+    @property
+    def pruned_infeasible(self) -> int:
+        return sum(1 for e in self.entries if not e.feasible)
+
+    @property
+    def pruned_by_model(self) -> int:
+        """Feasible points the strategy chose not to simulate."""
+        return sum(1 for e in self.entries
+                   if e.feasible and not e.simulated)
+
+    @property
+    def pruned_points(self) -> int:
+        """Every point that was never simulated."""
+        return self.total_points - self.simulated_points
+
+    @property
+    def prune_fraction(self) -> float:
+        if not self.total_points:
+            return 0.0
+        return self.pruned_points / self.total_points
+
+    @property
+    def ranked(self) -> Tuple[ExplorationEntry, ...]:
+        """Simulated entries, best (rank 1) first."""
+        return tuple(sorted(
+            (e for e in self.entries if e.rank is not None),
+            key=lambda e: e.rank))
+
+    @property
+    def best(self) -> Optional[ExplorationEntry]:
+        ranked = self.ranked
+        return ranked[0] if ranked else None
+
+    @property
+    def baseline_entry(self) -> Optional[ExplorationEntry]:
+        for entry in self.entries:
+            if entry.baseline:
+                return entry
+        return None
+
+    @property
+    def speedup_over_baseline(self) -> Optional[float]:
+        """Baseline cycles / best cycles (>= 1 when tuning helped)."""
+        best = self.best
+        base = self.baseline_entry
+        if best is None or base is None or not base.simulated:
+            return None
+        if not best.simulated_cycles:
+            return None
+        return base.simulated_cycles / best.simulated_cycles
+
+    @property
+    def pareto_frontier(self) -> Tuple[ExplorationEntry, ...]:
+        return tuple(e for e in self.ranked if e.pareto)
+
+    @property
+    def worst_model_error(self) -> Optional[float]:
+        errors = [abs(e.model_error) for e in self.entries
+                  if e.model_error is not None]
+        return max(errors) if errors else None
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "program": self.program,
+            "shape": list(self.shape),
+            "platform": self.platform,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "space": self.space.to_json(),
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "summary": {
+                "total_points": self.total_points,
+                "feasible_points": self.feasible_points,
+                "simulated_points": self.simulated_points,
+                "pruned_infeasible": self.pruned_infeasible,
+                "pruned_by_model": self.pruned_by_model,
+                "prune_fraction": self.prune_fraction,
+                "worst_model_error": self.worst_model_error,
+                "speedup_over_baseline": self.speedup_over_baseline,
+                "best": (self.best.to_json()
+                         if self.best is not None else None),
+            },
+            "entries": [e.to_json() for e in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "ExplorationReport":
+        return cls(
+            program=spec["program"],
+            shape=tuple(spec["shape"]),
+            platform=spec["platform"],
+            strategy=spec["strategy"],
+            seed=spec["seed"],
+            space=ConfigSpace.from_json(spec["space"]),
+            entries=tuple(ExplorationEntry.from_json(e)
+                          for e in spec["entries"]),
+            wall_seconds=spec["wall_seconds"],
+            cache_hits=spec["cache_hits"],
+        )
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path) -> "ExplorationReport":
+        with open(path) as handle:
+            return cls.from_json(json.load(handle))
+
+    def ranking_signature(self) -> Tuple:
+        """Timing-free identity of the sweep's outcome.
+
+        Two runs over the same program and space must produce equal
+        signatures (the determinism contract); wall times and cache
+        provenance are excluded.
+        """
+        return tuple(
+            (e.point.key(), e.feasible, e.rank, e.simulated,
+             e.simulated_cycles, e.predicted_cycles, e.pareto)
+            for e in self.entries)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable digest (used by the CLI and the example)."""
+        lines = [
+            f"explored {self.program} over {self.total_points} "
+            f"configurations on {self.platform}",
+            f"  analytically infeasible: {self.pruned_infeasible}; "
+            f"model-pruned: {self.pruned_by_model}; "
+            f"simulated: {self.simulated_points} "
+            f"({self.prune_fraction:.0%} of the space never simulated)",
+        ]
+        error = self.worst_model_error
+        if error is not None:
+            lines.append(f"  worst |model error|: {error:.2%}")
+        for entry in self.ranked[:5]:
+            mark = "*" if entry.pareto else " "
+            base = " [baseline]" if entry.baseline else ""
+            lines.append(
+                f"  {mark}#{entry.rank} {entry.point.label():<12} "
+                f"sim {entry.simulated_cycles} cycles "
+                f"(predicted {entry.predicted_cycles}, "
+                f"err {entry.model_error:+.2%}, "
+                f"{entry.devices_used} dev){base}")
+        speedup = self.speedup_over_baseline
+        if speedup is not None:
+            lines.append(f"  best is {speedup:.2f}x the baseline "
+                         f"configuration's cycles")
+        return lines

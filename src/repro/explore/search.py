@@ -1,0 +1,112 @@
+"""Search strategies: which surviving points get simulated.
+
+A strategy receives the analytic predictions of every point in the
+space and selects the subset to validate on the cycle-level simulator.
+``exhaustive`` simulates every feasible point; ``greedy`` (beam)
+simulates only the most promising ``beam_width`` by predicted cycles.
+The baseline configuration is always selected when feasible so reports
+can state the speedup over the tool's defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from ..errors import DefinitionError
+from .prune import Prediction
+from .space import ConfigPoint
+
+
+class SearchStrategy:
+    """Base class; subclasses pick the points worth simulating."""
+
+    name: str = "base"
+
+    def select(self, predictions: Sequence[Prediction],
+               baseline: Optional[ConfigPoint] = None
+               ) -> Tuple[ConfigPoint, ...]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _ranked_feasible(predictions: Sequence[Prediction]
+                         ) -> List[Prediction]:
+        """Feasible predictions, most promising first.
+
+        Primary key is the Eq. 1 cycle prediction (the quantity the
+        simulator validates); ties break on modeled wall time, then on
+        resource pressure, then on the point identity so the order is
+        total and deterministic.
+        """
+        feasible = [p for p in predictions if p.feasible]
+        return sorted(
+            feasible,
+            key=lambda p: (p.predicted_cycles,
+                           p.predicted_runtime_us,
+                           p.utilization,
+                           p.point.key()))
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Simulate every point that survives the analytic pruning."""
+
+    name = "exhaustive"
+
+    def select(self, predictions, baseline=None):
+        return tuple(p.point for p in
+                     self._ranked_feasible(predictions))
+
+
+class GreedySearch(SearchStrategy):
+    """Beam search: simulate only the top ``beam_width`` predictions.
+
+    Everything below the beam is pruned *by the model* — counted
+    separately from analytic infeasibility in the report, but equally
+    never simulated.
+    """
+
+    name = "greedy"
+
+    def __init__(self, beam_width: int = 8):
+        if beam_width < 1:
+            raise DefinitionError(
+                f"beam width must be >= 1, got {beam_width}")
+        self.beam_width = beam_width
+
+    def select(self, predictions, baseline=None):
+        ranked = self._ranked_feasible(predictions)
+        beam = [p.point for p in ranked[:self.beam_width]]
+        if baseline is not None and baseline not in beam:
+            for p in ranked[self.beam_width:]:
+                if p.point == baseline:
+                    beam.append(baseline)
+                    break
+        return tuple(beam)
+
+
+_STRATEGIES: Dict[str, Type[SearchStrategy]] = {
+    "exhaustive": ExhaustiveSearch,
+    "greedy": GreedySearch,
+    "beam": GreedySearch,
+}
+
+
+def available_strategies() -> Tuple[str, ...]:
+    return tuple(sorted(_STRATEGIES))
+
+
+def get_strategy(strategy: Union[str, SearchStrategy],
+                 **kwargs) -> SearchStrategy:
+    """Resolve a strategy name (or pass an instance through).
+
+    >>> get_strategy("greedy", beam_width=4).beam_width
+    4
+    """
+    if isinstance(strategy, SearchStrategy):
+        return strategy
+    try:
+        cls = _STRATEGIES[strategy]
+    except KeyError:
+        raise DefinitionError(
+            f"unknown search strategy {strategy!r}; available: "
+            f"{', '.join(available_strategies())}") from None
+    return cls(**kwargs)

@@ -16,6 +16,7 @@ from .platform import (
 from .resources import (
     ResourceEstimate,
     check_fits,
+    delay_buffer_resources,
     estimate_resources,
     stencil_unit_resources,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "XEON_12C",
     "calibration",
     "check_fits",
+    "delay_buffer_resources",
     "design_frequency_mhz",
     "estimate_resources",
     "frequency_mhz",

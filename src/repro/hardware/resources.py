@@ -96,6 +96,17 @@ def stencil_unit_resources(program: StencilProgram, stencil_name: str,
     return ResourceVector(alm=alm, ff=ff, m20k=m20k, dsp=dsp)
 
 
+def delay_buffer_resources(program: StencilProgram,
+                           buffer) -> ResourceVector:
+    """Resources of one edge delay buffer (a stream FIFO in M20K)."""
+    bits = (buffer.size * program.vectorization
+            * program.field_dtype(buffer.data).bits)
+    m20k = max(cal.M20K_MIN_PER_BUFFER,
+               -(-bits // cal.M20K_USABLE_BITS))
+    alm = float(cal.ALM_PER_CHANNEL)
+    return ResourceVector(alm=alm, ff=alm * cal.FF_PER_ALM, m20k=m20k)
+
+
 def estimate_resources(program: StencilProgram,
                        platform: FPGAPlatform = STRATIX10,
                        analysis: Optional[BufferingAnalysis] = None
@@ -110,17 +121,8 @@ def estimate_resources(program: StencilProgram,
         total = total + unit
 
     # Delay buffers on edges (stream FIFOs in M20K).
-    width = program.vectorization
-    extra_m20k = 0.0
-    extra_alm = 0.0
     for buffer in analysis.delay_buffers.values():
-        bits = (buffer.size * width
-                * program.field_dtype(buffer.data).bits)
-        extra_m20k += max(cal.M20K_MIN_PER_BUFFER,
-                          -(-bits // cal.M20K_USABLE_BITS))
-        extra_alm += cal.ALM_PER_CHANNEL
-    total = total + ResourceVector(
-        alm=extra_alm, ff=extra_alm * cal.FF_PER_ALM, m20k=extra_m20k)
+        total = total + delay_buffer_resources(program, buffer)
 
     return ResourceEstimate(design=total, platform=platform,
                             per_stencil=per_stencil)

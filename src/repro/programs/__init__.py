@@ -1,6 +1,12 @@
 """Bundled stencil programs: iterative kernels and the COSMO case study."""
 
-from .catalog import available_programs, build, laplace2d
+from .catalog import (
+    ALIASES,
+    available_programs,
+    build,
+    laplace2d,
+    resolve_name,
+)
 from .horizontal_diffusion import (
     BENCHMARK_DOMAIN,
     PAPER_AI_OPS_PER_BYTE,
@@ -18,8 +24,11 @@ from .iterative import (
     jacobi3d_code,
     single,
 )
+from .shallow_water import shallow_water
+from .vertical_advection import vertical_advection
 
 __all__ = [
+    "ALIASES",
     "BENCHMARK_DOMAIN",
     "PAPER_AI_OPS_PER_BYTE",
     "PAPER_AI_OPS_PER_OPERAND",
@@ -35,5 +44,8 @@ __all__ = [
     "jacobi2d_code",
     "jacobi3d_code",
     "laplace2d",
+    "resolve_name",
+    "shallow_water",
     "single",
+    "vertical_advection",
 ]

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, Tuple
 
 from ..core.program import StencilProgram
 from ..errors import DefinitionError
 from . import iterative
 from .horizontal_diffusion import horizontal_diffusion
+from .shallow_water import shallow_water
+from .vertical_advection import vertical_advection
 
 
 def laplace2d(shape: Tuple[int, int] = (64, 64),
@@ -37,24 +40,45 @@ _BUILDERS: Dict[str, Callable[..., StencilProgram]] = {
         "diffusion2d", shape=kw.pop("shape", (64, 64)), **kw),
     "diffusion3d": lambda **kw: iterative.single("diffusion3d", **kw),
     "horizontal_diffusion": horizontal_diffusion,
+    "vertical_advection": vertical_advection,
+    "shallow_water": shallow_water,
+}
+
+#: Short names accepted anywhere a catalog name is (CLI included).
+ALIASES: Dict[str, str] = {
+    "hdiff": "horizontal_diffusion",
+    "vadv": "vertical_advection",
+    "swe": "shallow_water",
 }
 
 
 def available_programs() -> Tuple[str, ...]:
-    """Names accepted by :func:`build`."""
+    """Canonical names accepted by :func:`build`."""
     return tuple(sorted(_BUILDERS))
 
 
+def resolve_name(name: str) -> str:
+    """Map ``name`` (canonical or alias) to its canonical catalog name.
+
+    Raises :class:`DefinitionError` with close-match suggestions when
+    the name is unknown.
+    """
+    if name in _BUILDERS:
+        return name
+    if name in ALIASES:
+        return ALIASES[name]
+    candidates = list(_BUILDERS) + list(ALIASES)
+    close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.5)
+    hint = f" (did you mean {', '.join(close)}?)" if close else ""
+    raise DefinitionError(
+        f"unknown program {name!r}{hint}; available: "
+        f"{', '.join(available_programs())}")
+
+
 def build(name: str, **kwargs) -> StencilProgram:
-    """Build a catalog program by name.
+    """Build a catalog program by (canonical or alias) name.
 
     >>> build("laplace2d", shape=(16, 16)).stencil_names
     ('b',)
     """
-    try:
-        builder = _BUILDERS[name]
-    except KeyError:
-        raise DefinitionError(
-            f"unknown program {name!r}; available: "
-            f"{', '.join(available_programs())}") from None
-    return builder(**kwargs)
+    return _BUILDERS[resolve_name(name)](**kwargs)

@@ -1,0 +1,85 @@
+"""A linearized shallow-water time step on a collocated 2D grid.
+
+One forward-Euler step of the linearized shallow-water equations
+
+.. math::
+
+    \\partial_t h = -H (\\partial_x u + \\partial_y v), \\qquad
+    \\partial_t u = -g \\partial_x h - b u, \\qquad
+    \\partial_t v = -g \\partial_y h - b v
+
+with centered differences: the wave-propagation core of ocean and
+inundation models.  The program is a *wide* DAG — three inputs feeding
+three independent outputs through shared difference stencils — so it
+stresses fan-out replication and placement very differently from the
+deep chains of the iterative kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.program import StencilProgram
+
+#: Default domain (square horizontal grid).
+DEFAULT_DOMAIN = (64, 64)
+
+#: Nondimensional step coefficients: dt*H, dt*g, and bottom friction.
+DT_H = 0.1
+DT_G = 0.2
+FRICTION = 0.001
+
+
+def shallow_water(shape: Tuple[int, int] = DEFAULT_DOMAIN,
+                  vectorization: int = 1) -> StencilProgram:
+    """Build one shallow-water step over height ``h`` and winds
+    ``u``/``v``.
+
+    Five centered-difference stencils feed the three updates; all
+    boundaries shrink (the valid interior loses a one-cell rim).
+    """
+    program = {
+        # Centered differences (1 add, 1 mul each).
+        "dudx": {
+            "code": "0.5*(u[i+1,j] - u[i-1,j])",
+            "boundary_condition": "shrink",
+        },
+        "dvdy": {
+            "code": "0.5*(v[i,j+1] - v[i,j-1])",
+            "boundary_condition": "shrink",
+        },
+        "dhdx": {
+            "code": "0.5*(h[i+1,j] - h[i-1,j])",
+            "boundary_condition": "shrink",
+        },
+        "dhdy": {
+            "code": "0.5*(h[i,j+1] - h[i,j-1])",
+            "boundary_condition": "shrink",
+        },
+        # Continuity: dh = -dt*H*(du/dx + dv/dy).
+        "h_out": {
+            "code": f"h[i,j] - {DT_H}*(dudx[i,j] + dvdy[i,j])",
+            "boundary_condition": "shrink",
+        },
+        # Momentum: du = -dt*g*dh/dx - dt*b*u (and likewise for v).
+        "u_out": {
+            "code": f"u[i,j] - {DT_G}*dhdx[i,j] - {FRICTION}*u[i,j]",
+            "boundary_condition": "shrink",
+        },
+        "v_out": {
+            "code": f"v[i,j] - {DT_G}*dhdy[i,j] - {FRICTION}*v[i,j]",
+            "boundary_condition": "shrink",
+        },
+    }
+    return StencilProgram.from_json({
+        "name": "shallow_water",
+        "inputs": {
+            "h": {"dtype": "float32", "dims": ["i", "j"]},
+            "u": {"dtype": "float32", "dims": ["i", "j"]},
+            "v": {"dtype": "float32", "dims": ["i", "j"]},
+        },
+        "outputs": ["h_out", "u_out", "v_out"],
+        "shape": list(shape),
+        "vectorization": vectorization,
+        "program": program,
+    })

@@ -1,0 +1,76 @@
+"""A vertical-advection-style stencil chain (COSMO dycore family).
+
+Vertical advection transports a scalar along the vertical (k) axis with
+an upwind scheme: the flux at each cell takes the backward difference
+when the wind blows upward and the forward difference otherwise, and
+the update is smoothed with a vertical filter.  The production COSMO
+operator solves an implicit tridiagonal system; this explicit upwind
+chain reproduces its dataflow *shape* — a deep chain of k-offset
+stencils with a data-dependent branch — which is what matters for
+buffering, placement, and exploration studies.
+
+Unlike horizontal diffusion (i/j halos), every halo here is in the
+innermost dimension, so delay buffers are small and vectorization
+interacts directly with the stencil offsets — a deliberately different
+corner of the design space.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.program import StencilProgram
+
+#: Default domain: deep enough in k for the vertical halos to matter.
+DEFAULT_DOMAIN = (32, 32, 32)
+
+
+def vertical_advection(shape: Tuple[int, int, int] = DEFAULT_DOMAIN,
+                       vectorization: int = 1) -> StencilProgram:
+    """Build the vertical-advection chain.
+
+    Inputs are the advected scalar ``q``, the vertical wind ``w`` (both
+    3D), and a per-level inverse grid spacing ``rdz`` (1D in k).
+    Stages: forward/backward vertical differences, the upwind flux
+    select, the advective update, and a 1-2-1 vertical filter.
+    """
+    program = {
+        # Vertical differences (1 add each).
+        "grad_up": {
+            "code": "q[i,j,k+1] - q[i,j,k]",
+            "boundary_condition": "shrink",
+        },
+        "grad_dn": {
+            "code": "q[i,j,k] - q[i,j,k-1]",
+            "boundary_condition": "shrink",
+        },
+        # Upwind flux: 1 branch, 1 comparison, 2 muls.
+        "flux": {
+            "code": ("w[i,j,k] > 0.0 ? w[i,j,k]*grad_dn[i,j,k] "
+                     ": w[i,j,k]*grad_up[i,j,k]"),
+            "boundary_condition": "shrink",
+        },
+        # Advective update: q - dt * flux / dz (2 muls, 1 add).
+        "adv": {
+            "code": "q[i,j,k] - 0.25*flux[i,j,k]*rdz[k]",
+            "boundary_condition": "shrink",
+        },
+        # 1-2-1 vertical filter (3 adds, 2 muls).
+        "q_out": {
+            "code": ("0.25*(adv[i,j,k-1] + adv[i,j,k+1]) "
+                     "+ 0.5*adv[i,j,k]"),
+            "boundary_condition": "shrink",
+        },
+    }
+    return StencilProgram.from_json({
+        "name": "vertical_advection",
+        "inputs": {
+            "q": {"dtype": "float32", "dims": ["i", "j", "k"]},
+            "w": {"dtype": "float32", "dims": ["i", "j", "k"]},
+            "rdz": {"dtype": "float32", "dims": ["k"]},
+        },
+        "outputs": ["q_out"],
+        "shape": list(shape),
+        "vectorization": vectorization,
+        "program": program,
+    })

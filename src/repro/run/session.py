@@ -19,7 +19,11 @@ from ..analysis.deadlock import certify_analysis
 from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
 from ..codegen import generate_package
 from ..core.program import StencilProgram
-from ..distributed.partition import Partition, partition_program
+from ..distributed.partition import (
+    Partition,
+    contiguous_device_split,
+    partition_program,
+)
 from ..errors import ValidationError
 from ..hardware.platform import FPGAPlatform, STRATIX10
 from ..perf.pipeline import PerformanceReport, model_performance
@@ -72,6 +76,7 @@ class Session:
         self.program = program
         self.platform = platform
         self._analysis: Optional[BufferingAnalysis] = None
+        self._explore_cache = None
 
     @classmethod
     def from_json(cls, spec: Mapping, **kwargs) -> "Session":
@@ -101,6 +106,22 @@ class Session:
                                  max_devices=max_devices,
                                  analysis=self.analysis)
 
+    def placement(self, strategy: str = "contiguous",
+                  devices: int = 1) -> Dict[str, int]:
+        """A stencil-to-device map built by a named strategy.
+
+        ``"contiguous"`` cuts the pipeline into ``devices`` groups in
+        program order; ``"auto"`` runs the resource-driven partitioner
+        (Sec. III-B) with ``devices`` as the device budget.
+        """
+        if strategy == "contiguous":
+            return contiguous_device_split(self.program, devices)
+        if strategy == "auto":
+            return dict(self.partition(max_devices=devices).device_of)
+        raise ValidationError(
+            f"unknown partition strategy {strategy!r} "
+            f"(expected 'contiguous' or 'auto')")
+
     def code_package(self, partition: Optional[Partition] = None
                      ) -> Dict[str, str]:
         """Generated OpenCL/host/SMI/reference sources."""
@@ -119,12 +140,18 @@ class Session:
             validate: bool = True,
             rtol: float = 1e-5,
             atol: float = 1e-6,
-            engine_mode: Optional[str] = None) -> RunResult:
+            engine_mode: Optional[str] = None,
+            partition: Optional[str] = None,
+            devices: int = 1) -> RunResult:
         """Simulate the design and validate against the reference.
 
         ``engine_mode`` overrides the simulator engine selection
         (``"scalar"``, ``"batched"``, or ``"auto"``) without requiring a
-        full :class:`SimulatorConfig`.
+        full :class:`SimulatorConfig`.  ``partition`` names a placement
+        strategy (``"contiguous"`` or ``"auto"``) applied over
+        ``devices`` devices, as an alternative to an explicit
+        ``device_of`` map; ``devices > 1`` alone implies the
+        contiguous strategy.
 
         Raises :class:`ValidationError` when ``validate`` is set and any
         output mismatches the sequential reference on its valid region.
@@ -132,6 +159,14 @@ class Session:
         if engine_mode is not None:
             config = replace(config or SimulatorConfig(),
                              engine_mode=engine_mode)
+        if partition is None and devices != 1:
+            partition = "contiguous"
+        if partition is not None:
+            if device_of is not None:
+                raise ValidationError(
+                    "pass either 'partition'/'devices' or "
+                    "'device_of', not both")
+            device_of = self.placement(partition, devices)
         simulation = simulate(self.program, inputs, config, device_of)
         reference = run_reference(self.program, inputs)
         validated = False
@@ -153,3 +188,22 @@ class Session:
             reference=reference,
             validated=validated,
         )
+
+    # -- design-space exploration ---------------------------------------------
+
+    def explore(self, **kwargs):
+        """Sweep the program's mapping design space (autotuning).
+
+        Delegates to :func:`repro.explore.explore` on the session's
+        program and platform.  Simulation results are cached on the
+        session, so repeated sweeps (e.g. over a refined space) only
+        simulate configurations they have not measured before.
+
+        Returns a :class:`repro.explore.ExplorationReport`.
+        """
+        from ..explore import ResultCache, explore as run_explore
+        if "cache" not in kwargs:
+            if self._explore_cache is None:
+                self._explore_cache = ResultCache()
+            kwargs["cache"] = self._explore_cache
+        return run_explore(self.program, self.platform, **kwargs)

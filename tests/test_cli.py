@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import DefinitionError
 from util import lst1_program, lst1_spec
 
 
@@ -62,12 +63,34 @@ class TestCLI:
                      "--network-words-per-cycle", "0.5",
                      "--network-latency", "16"]) == 0
         out = capsys.readouterr().out
-        assert "engine: batched (2 devices, link rate 0.5" in out
+        assert "engine: batched (2 devices, contiguous placement, " \
+               "link rate 0.5" in out
         assert "validated against reference: True" in out
 
     def test_run_rejects_bad_shape(self, program_file):
         with pytest.raises(SystemExit):
             main(["run", str(program_file), "--shape", "4x8x8"])
+
+    def test_run_partition_auto(self, program_file, capsys):
+        assert main(["run", str(program_file), "--devices", "2",
+                     "--partition", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "auto placement" in out
+        assert "validated against reference: True" in out
+
+    def test_run_catalog_name(self, capsys):
+        assert main(["run", "laplace2d", "--shape", "12,12"]) == 0
+        assert "validated against reference: True" in \
+            capsys.readouterr().out
+
+    def test_run_catalog_alias(self, capsys):
+        assert main(["run", "swe", "--shape", "10,10"]) == 0
+        assert "validated against reference: True" in \
+            capsys.readouterr().out
+
+    def test_unknown_program_suggests_close_match(self):
+        with pytest.raises(DefinitionError, match="did you mean"):
+            main(["info", "laplce2d"])
 
     def test_missing_command(self):
         with pytest.raises(SystemExit):
@@ -77,3 +100,56 @@ class TestCLI:
         missing = tmp_path / "nope.json"
         with pytest.raises(FileNotFoundError):
             main(["info", str(missing)])
+
+
+class TestListPrograms:
+    def test_lists_catalog_with_aliases(self, capsys):
+        assert main(["list-programs"]) == 0
+        out = capsys.readouterr().out
+        assert "horizontal_diffusion" in out
+        assert "hdiff" in out
+        assert "vertical_advection" in out
+        assert "shallow_water" in out
+
+
+class TestExploreCommand:
+    def test_explore_writes_ranked_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["explore", "--program", "laplace2d",
+                     "--shape", "16,16", "--widths", "1,2,4",
+                     "--output", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "explored laplace2d" in out
+        assert f"wrote {report_path}" in out
+        report = json.loads(report_path.read_text())
+        assert report["program"] == "laplace2d"
+        summary = report["summary"]
+        assert summary["total_points"] == 3
+        assert summary["simulated_points"] >= 1
+        assert summary["best"]["simulated_cycles"] > 0
+        ranks = [e["rank"] for e in report["entries"]
+                 if e["rank"] is not None]
+        assert sorted(ranks) == list(range(1, len(ranks) + 1))
+
+    def test_explore_cache_file_makes_second_sweep_incremental(
+            self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.json"
+        report_path = tmp_path / "report.json"
+        argv = ["explore", "--program", "laplace2d", "--shape",
+                "16,16", "--widths", "1,2", "--cache",
+                str(cache_path), "--output", str(report_path)]
+        assert main(argv) == 0
+        assert cache_path.exists()
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "cache hits" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["cache_hits"] >= 1
+
+    def test_explore_accepts_program_file(self, program_file,
+                                          tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["explore", "--program", str(program_file),
+                     "--widths", "1,2", "--output",
+                     str(report_path)]) == 0
+        assert json.loads(report_path.read_text())["program"] == "lst1"

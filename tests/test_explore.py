@@ -1,0 +1,260 @@
+"""Tests for the design-space exploration subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DefinitionError
+from repro.explore import (
+    ConfigPoint,
+    ConfigSpace,
+    ExhaustiveSearch,
+    ExplorationReport,
+    GreedySearch,
+    Pruner,
+    ResultCache,
+    baseline_point,
+    explore,
+    get_strategy,
+    program_fingerprint,
+)
+from repro.programs import build, chain, horizontal_diffusion, laplace2d
+from repro.run import Session
+
+
+def small_chain():
+    return chain(4, shape=(8, 8, 8))
+
+
+class TestConfigSpace:
+    def test_product_size_and_determinism(self):
+        space = ConfigSpace(vectorizations=(1, 2),
+                            device_counts=(1, 2),
+                            partitions=("contiguous", "auto"))
+        assert space.size == 8
+        assert space.points() == space.points()
+        assert len(set(space.points())) == 8
+
+    def test_default_space_tracks_innermost_extent(self):
+        space = ConfigSpace.default_for(laplace2d(shape=(24, 24)))
+        assert all(w <= 24 for w in space.vectorizations)
+        # One stencil: no multi-device axis, no 'auto' strategy.
+        assert space.device_counts == (1,)
+        assert space.partitions == ("contiguous",)
+
+    def test_default_space_multi_device(self):
+        space = ConfigSpace.default_for(small_chain())
+        assert space.device_counts == (1, 2, 4)
+        assert set(space.partitions) == {"contiguous", "auto"}
+
+    def test_point_validation(self):
+        with pytest.raises(DefinitionError, match="partition"):
+            ConfigPoint(partition="scatter")
+        with pytest.raises(DefinitionError, match="vectorization"):
+            ConfigPoint(vectorization=0)
+
+    def test_point_json_round_trip(self):
+        point = ConfigPoint(vectorization=4, devices=2,
+                            partition="auto",
+                            network_words_per_cycle=0.5,
+                            network_latency=16, min_channel_depth=12)
+        assert ConfigPoint.from_json(point.to_json()) == point
+
+    def test_space_json_round_trip(self):
+        space = ConfigSpace.default_for(small_chain())
+        assert ConfigSpace.from_json(space.to_json()) == space
+
+
+class TestPruning:
+    def test_nondividing_width_is_pruned(self):
+        pruner = Pruner(small_chain())
+        verdict = pruner.predict(ConfigPoint(vectorization=3))
+        assert not verdict.feasible
+        assert "does not divide" in verdict.reason
+
+    def test_network_bound_point_is_pruned(self):
+        # W = 8 across a contiguous 2-device cut needs more operands
+        # per cycle than the platform's chained links provide.
+        pruner = Pruner(chain(6, shape=(16, 8, 8)))
+        verdict = pruner.predict(ConfigPoint(vectorization=8,
+                                             devices=2))
+        assert not verdict.feasible
+        assert "network-bound" in verdict.reason
+
+    def test_single_device_prediction_is_eq1(self):
+        program = small_chain()
+        pruner = Pruner(program)
+        verdict = pruner.predict(ConfigPoint(vectorization=2))
+        analysis = pruner.analysis_at(2)
+        assert verdict.feasible
+        assert verdict.predicted_cycles == \
+            analysis.pipeline_latency + program.num_cells // 2
+
+    def test_auto_placement_uses_fewer_devices_when_it_fits(self):
+        pruner = Pruner(small_chain())
+        verdict = pruner.predict(ConfigPoint(devices=4,
+                                             partition="auto"))
+        assert verdict.feasible
+        assert verdict.devices_used == 1
+        assert verdict.device_of is None
+
+    def test_duplicate_machines_share_simulation_key(self):
+        pruner = Pruner(small_chain())
+        auto = pruner.predict(ConfigPoint(devices=4, partition="auto"))
+        single = pruner.predict(ConfigPoint())
+        assert auto.simulation_key == single.simulation_key
+
+    def test_network_latency_prices_delay_buffers(self):
+        # Cut edges on a reconvergent program stretch the delay
+        # buffers that re-balance the parallel paths; those FIFOs cost
+        # real M20K on the device holding them, so an absurd wire
+        # latency must overflow the device — not pass silently.
+        pruner = Pruner(horizontal_diffusion(shape=(16, 16, 8)))
+        verdict = pruner.predict(
+            ConfigPoint(devices=2, network_latency=2_000_000))
+        assert not verdict.feasible
+        assert "overflows" in verdict.reason
+
+
+class TestStrategies:
+    def _predictions(self):
+        pruner = Pruner(small_chain())
+        space = ConfigSpace(vectorizations=(1, 2, 3, 4, 8))
+        return [pruner.predict(p) for p in space.points()]
+
+    def test_exhaustive_selects_all_feasible(self):
+        predictions = self._predictions()
+        selected = ExhaustiveSearch().select(predictions)
+        feasible = [p.point for p in predictions if p.feasible]
+        assert sorted(p.key() for p in selected) == \
+            sorted(p.key() for p in feasible)
+
+    def test_greedy_respects_beam_and_keeps_baseline(self):
+        predictions = self._predictions()
+        base = ConfigPoint(vectorization=1)
+        selected = GreedySearch(beam_width=2).select(predictions,
+                                                     baseline=base)
+        assert len(selected) == 3  # beam of 2 + the baseline
+        assert base in selected
+        # The beam holds the best predictions: the largest widths.
+        widths = {p.vectorization for p in selected}
+        assert widths == {8, 4, 1}
+
+    def test_strategy_registry(self):
+        assert get_strategy("exhaustive").name == "exhaustive"
+        assert get_strategy("beam", beam_width=3).beam_width == 3
+        with pytest.raises(DefinitionError, match="unknown search"):
+            get_strategy("annealing")
+
+
+class TestExplorer:
+    def test_deterministic_ranked_report(self):
+        program = small_chain()
+        one = explore(program, strategy="exhaustive", seed=3)
+        two = explore(program, strategy="exhaustive", seed=3)
+        assert one.ranking_signature() == two.ranking_signature()
+        assert one.best.point == two.best.point
+
+    def test_cache_makes_repeat_sweeps_incremental(self):
+        program = small_chain()
+        cache = ResultCache()
+        first = explore(program, cache=cache)
+        assert first.cache_hits == 0
+        assert len(cache) > 0
+        second = explore(program, cache=cache)
+        assert second.cache_hits == len(cache)
+        assert all(e.cache_hit for e in second.entries if e.simulated)
+        assert second.ranking_signature() == first.ranking_signature()
+
+    def test_cache_distinguishes_programs(self):
+        a = program_fingerprint(small_chain())
+        b = program_fingerprint(chain(4, shape=(8, 8, 16)))
+        # Vectorization is a configuration axis, not program identity.
+        w = program_fingerprint(
+            small_chain().with_vectorization(4))
+        assert a != b
+        assert a == w
+
+    def test_cache_json_round_trip(self, tmp_path):
+        cache = ResultCache()
+        explore(small_chain(), cache=cache)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        loaded = ResultCache.load(path)
+        assert len(loaded) == len(cache)
+        report = explore(small_chain(), cache=loaded)
+        assert report.cache_hits == len(loaded)
+
+    def test_report_json_round_trip(self, tmp_path):
+        report = explore(small_chain(), strategy="exhaustive")
+        assert ExplorationReport.from_json(report.to_json()) == report
+        path = tmp_path / "report.json"
+        report.save(path)
+        assert ExplorationReport.load(path) == report
+
+    @pytest.mark.parametrize("program", [
+        laplace2d(shape=(16, 16)),
+        build("vadv", shape=(8, 8, 8)),
+    ], ids=["laplace2d", "vertical_advection"])
+    def test_model_error_bounds(self, program):
+        report = explore(program, strategy="exhaustive")
+        assert report.simulated_points > 0
+        assert report.worst_model_error is not None
+        assert report.worst_model_error <= 0.05
+
+    def test_fractional_rate_model_error(self):
+        space = ConfigSpace(vectorizations=(1, 2),
+                            device_counts=(2,),
+                            network_rates=(0.5,),
+                            network_latencies=(16,))
+        report = explore(small_chain(), space=space,
+                         strategy="exhaustive")
+        multi = [e for e in report.entries
+                 if e.simulated and e.devices_used == 2]
+        assert multi
+        assert all(abs(e.model_error) <= 0.25 for e in multi)
+
+    @pytest.mark.parametrize("program", [
+        horizontal_diffusion(shape=(16, 16, 8)),
+        build("swe", shape=(16, 16)),
+    ], ids=["hdiff", "shallow_water"])
+    def test_best_no_slower_than_cli_defaults(self, program):
+        report = explore(program)
+        base = report.baseline_entry
+        assert base is not None and base.simulated
+        assert report.best.simulated_cycles <= base.simulated_cycles
+        assert report.speedup_over_baseline >= 1.0
+
+    def test_hdiff_space_prunes_half_analytically(self):
+        report = explore(horizontal_diffusion(shape=(16, 16, 8)))
+        assert report.total_points >= 24
+        assert report.prune_fraction >= 0.5
+
+    def test_pareto_contains_best(self):
+        report = explore(small_chain(), strategy="exhaustive")
+        frontier = report.pareto_frontier
+        assert report.best in frontier
+        # Frontier entries are mutually non-dominated.
+        for entry in frontier:
+            for other in frontier:
+                if entry is other:
+                    continue
+                assert not (
+                    other.simulated_cycles <= entry.simulated_cycles
+                    and other.utilization <= entry.utilization
+                    and (other.simulated_cycles < entry.simulated_cycles
+                         or other.utilization < entry.utilization))
+
+    def test_explicit_inputs_are_honoured(self):
+        program = laplace2d(shape=(8, 8))
+        inputs = {"a": np.ones((8, 8), dtype=np.float32)}
+        report = explore(program, inputs=inputs,
+                         space=ConfigSpace(vectorizations=(1, 2)))
+        assert report.simulated_points == 2
+
+    def test_session_explore_reuses_cache(self):
+        session = Session(small_chain())
+        first = session.explore()
+        second = session.explore()
+        assert first.cache_hits == 0
+        assert second.cache_hits > 0
+        assert second.ranking_signature() == first.ranking_signature()

@@ -12,6 +12,7 @@ from repro.perf import (
     program_census,
 )
 from repro.programs import (
+    ALIASES,
     PAPER_CENSUS,
     available_programs,
     build,
@@ -20,6 +21,9 @@ from repro.programs import (
     horizontal_diffusion,
     jacobi3d_code,
     laplace2d,
+    resolve_name,
+    shallow_water,
+    vertical_advection,
 )
 from repro.run import run_reference
 
@@ -72,6 +76,20 @@ class TestIterative:
         assert program.stencil_names == ("b",)
         with pytest.raises(DefinitionError, match="unknown program"):
             build("nope")
+
+    def test_catalog_aliases(self):
+        for alias, target in ALIASES.items():
+            assert resolve_name(alias) == target
+        assert build("hdiff", shape=(8, 8, 8)).name == \
+            "horizontal_diffusion"
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(DefinitionError, match="did you mean "
+                                                  "laplace2d"):
+            build("laplce2d")
+        with pytest.raises(DefinitionError,
+                           match="did you mean shallow_water"):
+            resolve_name("shallow_watr")
 
     def test_laplace_matches_numpy(self):
         program = laplace2d(shape=(8, 8))
@@ -159,3 +177,104 @@ class TestHorizontalDiffusion:
         assert program.shape[-1] % 8 == 0
         program16 = horizontal_diffusion(vectorization=16)
         assert program16.vectorization == 16
+
+
+class TestVerticalAdvection:
+    def _inputs(self, shape=(8, 8, 8)):
+        rng = np.random.default_rng(7)
+        return {
+            "q": rng.random(shape, dtype=np.float32),
+            "w": (rng.random(shape, dtype=np.float32) - 0.5),
+            "rdz": rng.random(shape[-1], dtype=np.float32) + 0.5,
+        }
+
+    def test_structure(self):
+        program = vertical_advection(shape=(8, 8, 8))
+        assert program.outputs == ("q_out",)
+        assert len(program.stencils) == 5
+        # Every halo is vertical: no i/j offsets anywhere.
+        for stencil in program.stencils:
+            extent = stencil.extent()
+            assert extent["i"] == (0, 0)
+            assert extent["j"] == (0, 0)
+
+    def test_reference_matches_numpy(self):
+        inputs = self._inputs()
+        q, w, rdz = inputs["q"], inputs["w"], inputs["rdz"]
+        program = vertical_advection(shape=q.shape)
+        result = run_reference(program, inputs)["q_out"]
+
+        grad_up = q[:, :, 1:] - q[:, :, :-1]          # at k
+        grad_dn = q[:, :, 1:] - q[:, :, :-1]          # at k+1
+        # Upwind select on the interior k in [1, K-1).
+        flux = np.where(w[:, :, 1:-1] > 0.0,
+                        w[:, :, 1:-1] * grad_dn[:, :, :-1],
+                        w[:, :, 1:-1] * grad_up[:, :, 1:])
+        adv = q[:, :, 1:-1] - \
+            np.float32(0.25) * flux * rdz[1:-1]
+        q_out = (np.float32(0.25) * (adv[:, :, :-2] + adv[:, :, 2:])
+                 + np.float32(0.5) * adv[:, :, 1:-1])
+        # adv spans k in [1, K-1); the filter shrinks one more level.
+        assert result.valid == ((0, 8), (0, 8), (2, 6))
+        np.testing.assert_allclose(result.valid_view, q_out,
+                                   rtol=1e-5)
+
+    def test_session_equivalence(self):
+        program = vertical_advection(shape=(8, 8, 8))
+        from repro.run import Session
+        assert Session(program).run(self._inputs()).validated
+
+
+class TestShallowWater:
+    def _inputs(self, shape=(12, 12)):
+        rng = np.random.default_rng(11)
+        return {name: rng.random(shape, dtype=np.float32)
+                for name in ("h", "u", "v")}
+
+    def test_structure(self):
+        program = shallow_water(shape=(16, 16))
+        assert sorted(program.outputs) == ["h_out", "u_out", "v_out"]
+        assert len(program.stencils) == 7
+
+    def test_reference_matches_numpy(self):
+        inputs = self._inputs()
+        h, u, v = inputs["h"], inputs["u"], inputs["v"]
+        program = shallow_water(shape=h.shape)
+        results = run_reference(program, inputs)
+
+        c = np.float32(0.5)
+        # h_out shrinks in both axes (dudx needs i, dvdy needs j);
+        # u_out only in i (dhdx), v_out only in j (dhdy).
+        dudx = c * (u[2:, 1:-1] - u[:-2, 1:-1])
+        dvdy = c * (v[1:-1, 2:] - v[1:-1, :-2])
+        dhdx = c * (h[2:, :] - h[:-2, :])
+        dhdy = c * (h[:, 2:] - h[:, :-2])
+        h_out = h[1:-1, 1:-1] - np.float32(0.1) * (dudx + dvdy)
+        u_out = (u[1:-1, :] - np.float32(0.2) * dhdx
+                 - np.float32(0.001) * u[1:-1, :])
+        v_out = (v[:, 1:-1] - np.float32(0.2) * dhdy
+                 - np.float32(0.001) * v[:, 1:-1])
+
+        for name, expected, valid in (
+                ("h_out", h_out, ((1, 11), (1, 11))),
+                ("u_out", u_out, ((1, 11), (0, 12))),
+                ("v_out", v_out, ((0, 12), (1, 11)))):
+            result = results[name]
+            assert result.valid == valid, name
+            np.testing.assert_allclose(result.valid_view, expected,
+                                       rtol=1e-5)
+
+    def test_height_is_conserved_to_first_order(self):
+        # With zero winds the height field is unchanged.
+        inputs = self._inputs()
+        inputs["u"] = np.zeros_like(inputs["u"])
+        inputs["v"] = np.zeros_like(inputs["v"])
+        program = shallow_water(shape=inputs["h"].shape)
+        result = run_reference(program, inputs)["h_out"]
+        np.testing.assert_allclose(
+            result.valid_view, inputs["h"][1:-1, 1:-1], rtol=1e-6)
+
+    def test_session_equivalence(self):
+        program = shallow_water(shape=(12, 12))
+        from repro.run import Session
+        assert Session(program).run(self._inputs()).validated

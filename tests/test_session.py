@@ -64,6 +64,29 @@ class TestSession:
             "b0": 0, "b1": 0, "b2": 0, "b3": 1, "b4": 1})
         assert result.validated
 
+    def test_partition_strategy_run(self):
+        session = Session(lst1_program())
+        contiguous = session.run(lst1_inputs(),
+                                 partition="contiguous", devices=2)
+        assert contiguous.validated
+        auto = session.run(lst1_inputs(), partition="auto", devices=2)
+        assert auto.validated
+
+    def test_placement_strategies(self):
+        session = Session(lst1_program())
+        contiguous = session.placement("contiguous", 2)
+        assert max(contiguous.values()) == 1
+        auto = session.placement("auto", 4)
+        assert set(auto) == set(session.program.stencil_names)
+        with pytest.raises(ValidationError, match="partition strategy"):
+            session.placement("scatter", 2)
+
+    def test_partition_and_device_of_conflict(self):
+        session = Session(lst1_program())
+        with pytest.raises(ValidationError, match="not both"):
+            session.run(lst1_inputs(), partition="auto",
+                        device_of={"b0": 0})
+
 
 class TestHdiffEndToEnd:
     """The application study runs through the entire stack."""
