@@ -9,7 +9,12 @@ opened up:
   with a deep 64-cycle wire — exercising the lifted in-flight bound
   (batches used to cap at ~``network_latency`` cycles per plan);
 * **integer programs**: an int32 smoothing chain on native int64 slabs
-  (previously a scalar-engine fallback under ``engine_mode="auto"``).
+  (previously a scalar-engine fallback under ``engine_mode="auto"``);
+* **fractional-rate links**: hdiff across 2 devices on a 1/3
+  words/cycle wire — exercising the super-pattern window planner,
+  benchmarked against both the scalar engine and the per-delivery
+  re-planning path it replaced (``superpattern=False``, the PR 2
+  behaviour of batching one cycle per fractional delivery).
 
 The batched engine runs paper-scale domains; the scalar engine is timed
 on a reduced domain (its per-cell cost is domain-independent, and the
@@ -29,23 +34,11 @@ from pathlib import Path
 
 import numpy as np
 
+from harness import seeded_inputs
 from repro.core import StencilProgram
 from repro.distributed import contiguous_device_split
 from repro.programs import horizontal_diffusion
 from repro.simulator import SimulatorConfig, simulate
-
-
-def random_inputs(program, seed=0):
-    rng = np.random.default_rng(seed)
-    out = {}
-    for name, spec in program.inputs.items():
-        shape = spec.shape(program.shape, program.index_names)
-        if spec.dtype.is_integer:
-            data = rng.integers(0, 8, shape)
-        else:
-            data = rng.random(shape) if shape else rng.random()
-        out[name] = np.asarray(data, dtype=spec.dtype.numpy)
-    return out
 
 #: The paper's performance-benchmark domain (Sec. IX) and W.
 PAPER_DOMAIN = (128, 128, 80)
@@ -61,6 +54,12 @@ PR1_CELLS_PER_SECOND = 382_037
 #: Deep wire for the multi-device rows: without the lifted in-flight
 #: bound every batch would cap at ~64 cycles.
 NETWORK_LATENCY = 64
+
+#: The fractional-rate row's wire: 1/3 words/cycle over a 16-cycle
+#: wire — the configuration class the explorer's ``network_rates``
+#: sweeps hit hardest before super-pattern batching.
+FRACTIONAL_RATE = 1.0 / 3.0
+FRACTIONAL_LATENCY = 16
 
 BENCH_FILE = Path(__file__).parent / "BENCH_simulator.json"
 
@@ -89,10 +88,13 @@ def _int_chain(shape):
     })
 
 
-def _run(program, engine_mode, device_of=None, latency=32):
-    inputs = random_inputs(program)
+def _run(program, engine_mode, device_of=None, latency=32, rate=1.0,
+         superpattern=True):
+    inputs = seeded_inputs(program)
     config = SimulatorConfig(engine_mode=engine_mode,
-                             network_latency=latency)
+                             network_latency=latency,
+                             network_words_per_cycle=rate,
+                             superpattern=superpattern)
     start = time.perf_counter()
     result = simulate(program, inputs, config, device_of=device_of)
     seconds = time.perf_counter() - start
@@ -129,6 +131,46 @@ def _row(build, device_count=None, latency=32):
     }
 
 
+def _fractional_row(build):
+    """The super-pattern row: scalar and the per-delivery re-planning
+    path (PR 2 behaviour, ``superpattern=False``) on the reduced
+    domain, the super-pattern planner on the paper domain."""
+    small = build(SCALAR_DOMAIN)
+    large = build(PAPER_DOMAIN)
+    placement = contiguous_device_split(small, 2)
+    scalar, scalar_result = _run(small, "scalar", placement,
+                                 latency=FRACTIONAL_LATENCY,
+                                 rate=FRACTIONAL_RATE)
+    guard, guard_result = _run(small, "batched", placement,
+                               latency=FRACTIONAL_LATENCY,
+                               rate=FRACTIONAL_RATE)
+    assert guard_result.cycles == scalar_result.cycles
+    assert guard_result.stall_cycles == scalar_result.stall_cycles
+    for name, expected in scalar_result.outputs.items():
+        assert np.array_equal(expected, guard_result.outputs[name],
+                              equal_nan=True), name
+    per_delivery, _ = _run(small, "batched", placement,
+                           latency=FRACTIONAL_LATENCY,
+                           rate=FRACTIONAL_RATE, superpattern=False)
+    placement = contiguous_device_split(large, 2)
+    superpattern, _ = _run(large, "batched", placement,
+                           latency=FRACTIONAL_LATENCY,
+                           rate=FRACTIONAL_RATE)
+    return {
+        "rate_words_per_cycle": FRACTIONAL_RATE,
+        "network_latency": FRACTIONAL_LATENCY,
+        "scalar": scalar,
+        "per_delivery_replanning": per_delivery,
+        "superpattern": superpattern,
+        "speedup_cells_per_second": round(
+            superpattern["cells_per_second"]
+            / scalar["cells_per_second"], 1),
+        "speedup_vs_per_delivery": round(
+            superpattern["cells_per_second"]
+            / per_delivery["cells_per_second"], 1),
+    }
+
+
 def test_engine_throughput():
     hdiff = lambda shape: horizontal_diffusion(  # noqa: E731
         shape=shape, vectorization=VECTORIZATION)
@@ -137,6 +179,7 @@ def test_engine_throughput():
     two_device = _row(hdiff, device_count=2, latency=NETWORK_LATENCY)
     four_device = _row(hdiff, device_count=4, latency=NETWORK_LATENCY)
     integer = _row(_int_chain)
+    fractional = _fractional_row(hdiff)
 
     vs_pr1 = round(single["batched"]["cells_per_second"]
                    / PR1_CELLS_PER_SECOND, 2)
@@ -148,6 +191,7 @@ def test_engine_throughput():
         "two_device": two_device,
         "four_device": four_device,
         "integer_chain": integer,
+        "fractional_rate": fractional,
         "single_device_vs_pr1": {
             "pr1_cells_per_second": PR1_CELLS_PER_SECOND,
             "cells_per_second": single["batched"]["cells_per_second"],
@@ -163,14 +207,23 @@ def test_engine_throughput():
               f"{row['scalar']['cells_per_second']:>10,} c/s | batched "
               f"{row['batched']['cells_per_second']:>10,} c/s | "
               f"{row['speedup_cells_per_second']}x")
+    print(f"rate-1/3 : scalar "
+          f"{fractional['scalar']['cells_per_second']:>10,} c/s | "
+          f"super-pattern "
+          f"{fractional['superpattern']['cells_per_second']:>10,} c/s | "
+          f"{fractional['speedup_vs_per_delivery']}x vs per-delivery")
     print(f"single-device vs PR1 batched engine: {vs_pr1}x "
           f"(written to {BENCH_FILE.name})")
 
     # Acceptance bars: the batched engine stays an order of magnitude
     # ahead of scalar on a single device, the lifted in-flight bound
-    # keeps deep-wire multi-device runs >= 5x scalar, and integer
-    # programs actually benefit from batching.
+    # keeps deep-wire multi-device runs >= 5x scalar, integer programs
+    # actually benefit from batching, and super-pattern windows beat
+    # the per-delivery re-planning path on fractional-rate links by
+    # the PR's >= 5x target.
     assert single["speedup_cells_per_second"] >= 10.0
     assert two_device["speedup_cells_per_second"] >= 5.0
     assert four_device["speedup_cells_per_second"] >= 5.0
     assert integer["speedup_cells_per_second"] >= 3.0
+    assert fractional["speedup_vs_per_delivery"] >= 5.0
+    assert fractional["speedup_cells_per_second"] >= 5.0

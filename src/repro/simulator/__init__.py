@@ -43,6 +43,7 @@ from .engine import (
     SimulationResult,
     Simulator,
     SimulatorConfig,
+    build_simulator,
     make_simulator,
     resolve_engine_mode,
     simulate,
@@ -70,6 +71,7 @@ __all__ = [
     "StencilUnit",
     "Trace",
     "TracingSimulator",
+    "build_simulator",
     "compile_stencil",
     "make_simulator",
     "resolve_engine_mode",

@@ -30,11 +30,16 @@ delivery without stepping the link cycle by cycle.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SimulationError
+
+#: Memoized per-rate credit schedules (the refill iterate from 0.0 is a
+#: pure function of the rate, so every limiter with the same rate shares
+#: one schedule).
+_CREDIT_SCHEDULES: Dict[float, Optional[Tuple[float, ...]]] = {}
 
 
 class RateLimiter:
@@ -47,9 +52,23 @@ class RateLimiter:
     0.5 words/cycle limiter therefore admits one word every other cycle;
     a rate >= 1 admits one word per cycle with no burst accumulation
     beyond the cap.
+
+    For a sub-unit rate the credit is exactly 1.0 at every spend (the
+    refill cap) and therefore exactly 0.0 right after, so the whole
+    inter-delivery credit trajectory is the fixed per-rate vector of
+    :meth:`credit_schedule` and a saturated link delivers on a strictly
+    periodic mask with period :meth:`delivery_period` — the closed form
+    the batched engine's super-pattern planner builds its LCM window
+    from.
     """
 
     __slots__ = ("rate", "credit")
+
+    #: Refill-replay budget for the closed-form schedule queries.
+    #: Within the budget the schedule is exact; past it
+    #: :meth:`cycles_to_ready` returns the budget as a conservative
+    #: lower bound and :meth:`credit_schedule` gives up (``None``).
+    SCAN_LIMIT = 4096
 
     def __init__(self, rate: float):
         if rate <= 0:
@@ -71,6 +90,79 @@ class RateLimiter:
     def spend(self):
         """Account one transferred word."""
         self.credit -= 1.0
+
+    # -- closed-form schedule -------------------------------------------------
+
+    def cycles_to_ready(self, budget: int = SCAN_LIMIT) -> Optional[int]:
+        """Cycles until the limiter can admit a word, counting this
+        cycle's refill: 0 means a word may be admitted this cycle.
+
+        ``None`` means the credit can never reach 1.0 (the refill hit
+        its float64 fixpoint below the cap); a value equal to ``budget``
+        is a conservative lower bound, not an exact wait.  The replay is
+        bitwise-faithful to :meth:`refill`, so the prediction is exactly
+        the scalar stepping behaviour.
+        """
+        credit = self.credit
+        cap = max(self.rate, 1.0)
+        cycles = 0
+        while cycles < budget:
+            refilled = min(credit + self.rate, cap)
+            if refilled >= 1.0:
+                return cycles
+            if refilled == credit:
+                return None
+            credit = refilled
+            cycles += 1
+        return budget
+
+    def credit_schedule(self) -> Optional[Tuple[float, ...]]:
+        """The per-cycle credit vector of a sub-unit rate between
+        spends: entry ``j`` is the credit after ``j + 1`` refills from
+        the post-spend credit of exactly 0.0; the last entry is the 1.0
+        that admits the next word.  ``None`` for rates >= 1 (the credit
+        is memoryless there) and for rates whose refill fixpoints below
+        1.0 or exceeds the :attr:`SCAN_LIMIT` replay budget.
+
+        Cached per rate — every limiter with the same rate shares one
+        schedule.
+        """
+        if self.rate >= 1.0:
+            return None
+        if self.rate in _CREDIT_SCHEDULES:
+            return _CREDIT_SCHEDULES[self.rate]
+        schedule = []
+        credit = 0.0
+        result: Optional[Tuple[float, ...]] = None
+        while len(schedule) < self.SCAN_LIMIT:
+            refilled = min(credit + self.rate, 1.0)
+            if refilled == credit:
+                break  # float64 fixpoint below the cap: never ready
+            schedule.append(refilled)
+            if refilled >= 1.0:
+                result = tuple(schedule)
+                break
+            credit = refilled
+        _CREDIT_SCHEDULES[self.rate] = result
+        return result
+
+    def delivery_period(self) -> Optional[int]:
+        """Cycles between successive deliveries on a saturated limiter:
+        1 for rates >= 1 (one word per cycle), the credit-schedule
+        length for sub-unit rates (credit restarts from exactly 0.0
+        after every spend, so the gap is uniform), ``None`` when no
+        finite schedule exists.
+
+        Note the float64 quirk this inherits from the scalar engine:
+        rates whose refill iterate rounds down (e.g. ``1/7``, whose
+        seventh partial sum is just below 1.0) take one extra refill
+        compared to the exact rational, so ``1/7`` has period 8, not 7.
+        Both engines share this behaviour by construction.
+        """
+        if self.rate >= 1.0:
+            return 1
+        schedule = self.credit_schedule()
+        return None if schedule is None else len(schedule)
 
 
 class Channel:
@@ -458,6 +550,28 @@ class ArrayNetworkLink:
     def head_time(self) -> int:
         return int(self._in_times.peek0())
 
+    @property
+    def credit(self) -> float:
+        """The limiter's current credit (super-pattern planning reads
+        it to seed a virtual limiter; see :meth:`sync_credit`)."""
+        return self._limiter.credit
+
+    def in_flight_times(self) -> np.ndarray:
+        """Delivery times of the in-flight words, oldest first."""
+        return self._in_times.snapshot()
+
+    def delivery_period(self) -> Optional[int]:
+        """Cycles between deliveries on this link when saturated — the
+        per-link period the super-pattern planner folds into its LCM
+        window (see :meth:`RateLimiter.delivery_period`)."""
+        return self._limiter.delivery_period()
+
+    def sync_credit(self, credit: float):
+        """Overwrite the limiter credit with a value the super-pattern
+        executor accounted virtually, invalidating the memoized wait."""
+        self._limiter.credit = credit
+        self._wait_cache = None
+
     # -- scalar protocol ----------------------------------------------------
 
     def push(self, word):
@@ -510,12 +624,13 @@ class ArrayNetworkLink:
     # memoryless) and admit one word per cycle, exactly like rate 1.0
     # given that producers push at most one word per cycle.
 
-    #: Refill-replay budget per planning query.  Within the budget the
-    #: schedule is exact; past it a conservative lower bound is
-    #: returned and the planner simply re-plans after that many cycles
-    #: (amortized cost: at most one replayed refill per simulated
-    #: cycle, the same work the scalar engine does).
-    CREDIT_SCAN_LIMIT = 4096
+    #: Refill-replay budget per planning query (shared with the
+    #: limiter's closed-form schedule).  Within the budget the schedule
+    #: is exact; past it a conservative lower bound is returned and the
+    #: planner simply re-plans after that many cycles (amortized cost:
+    #: at most one replayed refill per simulated cycle, the same work
+    #: the scalar engine does).
+    CREDIT_SCAN_LIMIT = RateLimiter.SCAN_LIMIT
 
     def next_ready_in(self) -> Optional[int]:
         """Cycles until the limiter can admit a word, counting this
@@ -533,19 +648,7 @@ class ArrayNetworkLink:
         cache = self._wait_cache
         if cache is not None and cache[0] == limiter.credit:
             return cache[1]
-        credit = limiter.credit
-        cycles = 0
-        wait: Optional[int] = self.CREDIT_SCAN_LIMIT
-        while cycles < self.CREDIT_SCAN_LIMIT:
-            refilled = min(credit + limiter.rate, 1.0)
-            if refilled >= 1.0:
-                wait = cycles
-                break
-            if refilled == credit:
-                wait = None
-                break
-            credit = refilled
-            cycles += 1
+        wait = limiter.cycles_to_ready(self.CREDIT_SCAN_LIMIT)
         self._wait_cache = (limiter.credit, wait)
         return wait
 

@@ -94,6 +94,16 @@ class SimulatorConfig:
             under-provisioned channels (Fig. 4).
         network_latency: cycles of propagation on inter-device links.
         network_words_per_cycle: per-link transfer rate cap.
+        network_link_rates: per-edge words-per-cycle overrides keyed by
+            ``(src, dst, data)``; wins over ``network_words_per_cycle``
+            for that link. Overrides naming edges that are not remote
+            under the placement are ignored (only links rate-limit).
+        superpattern: let the batched engine plan multi-cycle
+            super-pattern windows over the LCM of the fractional-rate
+            link schedules and execute whole windows as single NumPy
+            batches.  Disabling falls back to per-delivery re-planning
+            (results are identical; the knob exists for benchmarking
+            the super-pattern win).
     """
 
     min_channel_depth: int = 8
@@ -102,8 +112,17 @@ class SimulatorConfig:
     channel_capacities: Optional[Mapping[ChannelKey, int]] = None
     network_latency: int = 32
     network_words_per_cycle: float = 1.0
+    network_link_rates: Optional[Mapping[ChannelKey, float]] = None
     engine_mode: str = "auto"
     max_batch_words: int = 32768
+    superpattern: bool = True
+
+    def link_rate(self, key: ChannelKey) -> float:
+        """The words-per-cycle rate of the link on edge ``key``."""
+        overrides = self.network_link_rates
+        if overrides is not None and key in overrides:
+            return overrides[key]
+        return self.network_words_per_cycle
 
 
 class Simulator:
@@ -157,11 +176,12 @@ class Simulator:
     def _make_channel(self, name: str, capacity: int, data: str):
         return Channel(name, capacity)
 
-    def _make_link(self, name: str, capacity: int, data: str):
+    def _make_link(self, key: ChannelKey, name: str, capacity: int,
+                   data: str):
         config = self.config
         return NetworkLink(name, capacity,
                            latency=config.network_latency,
-                           words_per_cycle=config.network_words_per_cycle)
+                           words_per_cycle=config.link_rate(key))
 
     def _make_source(self, name: str, data: np.ndarray, outs):
         return SourceUnit(name, data, self.program.vectorization, outs)
@@ -185,7 +205,8 @@ class Simulator:
                 # Remote streams need credits covering the wire latency
                 # on top of the computed delay buffer.
                 link = self._make_link(
-                    name, capacity + config.network_latency, edge.data)
+                    key, name, capacity + config.network_latency,
+                    edge.data)
                 self.channels[key] = link
                 self.links.append(link)
             else:
@@ -342,12 +363,14 @@ def make_simulator(analysis, config: SimulatorConfig = None,
     return Simulator(analysis, config, device_of=device_of)
 
 
-def simulate(program: StencilProgram,
-             inputs: Mapping[str, np.ndarray],
-             config: SimulatorConfig = None,
-             device_of: Optional[Mapping[str, int]] = None
-             ) -> SimulationResult:
-    """Analyze and simulate ``program`` over concrete inputs."""
+def build_simulator(program: StencilProgram,
+                    config: SimulatorConfig = None,
+                    device_of: Optional[Mapping[str, int]] = None
+                    ) -> Simulator:
+    """Analyze ``program`` (adding remote-edge latencies implied by the
+    placement) and construct the configured simulator, unrun.  Useful
+    when the caller wants to inspect engine internals — e.g. the
+    batched engine's planner counters — after :meth:`Simulator.run`."""
     device_map = dict(device_of or {})
     edge_latency = None
     if device_map:
@@ -361,8 +384,16 @@ def simulate(program: StencilProgram,
                 edge_latency[(edge.src, edge.dst, edge.data)] = \
                     cfg.network_latency
     analysis = analyze_buffers(program, edge_latency=edge_latency)
-    simulator = make_simulator(analysis, config, device_of=device_map)
-    return simulator.run(inputs)
+    return make_simulator(analysis, config, device_of=device_map)
+
+
+def simulate(program: StencilProgram,
+             inputs: Mapping[str, np.ndarray],
+             config: SimulatorConfig = None,
+             device_of: Optional[Mapping[str, int]] = None
+             ) -> SimulationResult:
+    """Analyze and simulate ``program`` over concrete inputs."""
+    return build_simulator(program, config, device_of).run(inputs)
 
 
 def _node_device(graph: StencilGraph, node_id: str,

@@ -288,6 +288,70 @@ class TestCreditSchedule:
         link.advance_credit(1000, delivered=False)
         assert link.next_ready_in() == 0
 
+    @pytest.mark.parametrize("rate,period", [
+        (0.5, 2), (0.25, 4), (0.75, 2), (0.2, 5),
+        # Irreducible p/q with p > 1: ceil(q/p) refills reach the cap.
+        (1.0 / 3.0, 3), (3.0 / 7.0, 3), (5.0 / 8.0, 2), (7.0 / 16.0, 3),
+        # Float64 quirk shared with the scalar engine: 1/7's seventh
+        # partial sum rounds just below 1.0, costing an extra refill.
+        (1.0 / 7.0, 8),
+        (1.0, 1), (1.5, 1), (3.0, 1),
+    ])
+    def test_delivery_period(self, rate, period):
+        assert RateLimiter(rate).delivery_period() == period
+        link = ArrayNetworkLink("l", 8, width=1, words_per_cycle=rate)
+        assert link.delivery_period() == period
+
+    @pytest.mark.parametrize("rate", [0.25, 1.0 / 3.0, 3.0 / 7.0,
+                                      5.0 / 8.0, 2.0 / 3.0, 5.0 / 9.0,
+                                      7.0 / 16.0, 0.9])
+    def test_delivery_mask_pins_scalar_limiter(self, rate):
+        # A saturated link delivers on a strictly periodic per-cycle
+        # mask (credit restarts from exactly 0.0 after every spend).
+        # Pin the closed-form schedule — period, phase, and the
+        # next_ready_in countdown — against the scalar limiter stepping
+        # cycle by cycle, for irreducible p/q rates with p > 1.
+        scalar = NetworkLink("s", 512, latency=0, words_per_cycle=rate)
+        batched = ArrayNetworkLink("b", 512, width=1, latency=0,
+                                   words_per_cycle=rate)
+        for n in range(200):
+            scalar.push((float(n),))
+            batched.push((float(n),))
+        period = batched.delivery_period()
+        assert period is not None
+        mask = []
+        for now in range(120):
+            wait = batched.next_ready_in()
+            before = len(scalar._ready)
+            scalar.step(now)
+            delivered = len(scalar._ready) - before
+            assert delivered in (0, 1)
+            assert (wait == 0) == bool(delivered), (rate, now)
+            mask.append(delivered)
+            batched.advance_credit(1, delivered=bool(delivered))
+            if delivered:
+                batched.deliver_rows(1)
+                batched.read_rows(1)
+            assert scalar._limiter.credit == batched._limiter.credit
+        # The mask is exactly one delivery every `period` cycles, the
+        # first after a full refill run-up from zero credit.
+        expected = [1 if (now + 1) % period == 0 else 0
+                    for now in range(120)]
+        assert mask == expected
+        assert sum(mask) == 120 // period
+
+    def test_credit_schedule_cached_and_exact(self):
+        limiter = RateLimiter(3.0 / 7.0)
+        schedule = limiter.credit_schedule()
+        assert schedule is not None and schedule[-1] == 1.0
+        assert RateLimiter(3.0 / 7.0).credit_schedule() is schedule
+        # Entries replay the refill iterate bitwise.
+        replay = RateLimiter(3.0 / 7.0)
+        for credit in schedule:
+            replay.refill()
+            assert replay.credit == credit
+        assert RateLimiter(2.5).credit_schedule() is None
+
 
 class TestCoordSlabs:
     def test_boundary_masks_match_bruteforce(self):
@@ -405,6 +469,108 @@ class TestArrayCompile:
         ast = parse("a[i]", {"a": ("i",)}, ("i",))
         with pytest.raises(CodeGenError, match="mode"):
             compile_stencil(ast, mode="quantum")
+
+
+class TestSuperPattern:
+    """End-to-end behaviour of the multi-cycle super-pattern planner on
+    fractional-rate links: steady state executes as repeating windows
+    with no per-delivery re-planning and no scalar fallback."""
+
+    RATE = 1.0 / 3.0
+
+    @staticmethod
+    def _build(shape, rate, **kwargs):
+        from repro.distributed import contiguous_device_split
+        from repro.programs import horizontal_diffusion
+        from repro.simulator import SimulatorConfig, build_simulator
+
+        program = horizontal_diffusion(shape=shape, vectorization=4)
+        rng = np.random.default_rng(0)
+        inputs = {
+            name: rng.random(
+                spec.shape(program.shape, program.index_names)
+            ).astype(spec.dtype.numpy)
+            for name, spec in program.inputs.items()}
+        config = SimulatorConfig(engine_mode="batched",
+                                 network_words_per_cycle=rate,
+                                 network_latency=8, **kwargs)
+        simulator = build_simulator(
+            program, config, contiguous_device_split(program, 2))
+        return simulator, inputs
+
+    def test_zero_per_delivery_replans(self):
+        # The plan count must not scale with the word count: steady
+        # state is covered by super-pattern windows, so only the fill
+        # and drain transients plan at all.  (Per-delivery re-planning
+        # would cost ~2 plans per delivered word — thousands here.)
+        counts = {}
+        for shape in ((16, 16, 8), (16, 16, 32)):
+            simulator, inputs = self._build(shape, self.RATE)
+            result = simulator.run(inputs)
+            words = simulator.program.num_cells // 4
+            assert simulator.plan_count < 64, shape
+            assert simulator.plan_count < words // 8, shape
+            assert simulator.scalar_cycles == 0, shape
+            assert simulator.window_cycles >= 0.9 * result.cycles, shape
+            counts[shape] = simulator.plan_count
+        # 4x the words must not grow the plan count.
+        assert counts[(16, 16, 32)] <= counts[(16, 16, 8)] + 8
+
+    def test_superpattern_off_is_identical_but_replans(self):
+        simulator, inputs = self._build((16, 16, 8), self.RATE)
+        fast = simulator.run(inputs)
+        slow_sim, _ = self._build((16, 16, 8), self.RATE,
+                                  superpattern=False)
+        slow = slow_sim.run(inputs)
+        assert slow_sim.window_count == 0
+        assert slow_sim.plan_count > 10 * simulator.plan_count
+        assert fast.cycles == slow.cycles
+        assert fast.stall_cycles == slow.stall_cycles
+        assert fast.channel_occupancy == slow.channel_occupancy
+        for name in fast.outputs:
+            np.testing.assert_array_equal(fast.outputs[name],
+                                          slow.outputs[name])
+
+    def test_integer_rate_has_no_window(self):
+        # Rate 1.0 links already batch maximally on single-cycle
+        # patterns; the super-pattern planner must stay out of the way.
+        simulator, inputs = self._build((16, 16, 8), 1.0)
+        simulator.run(inputs)
+        assert simulator.window_count == 0
+
+    def test_mixed_rate_windows(self):
+        # Two links with different sub-unit rates: the window is the
+        # LCM of both delivery periods and still covers steady state.
+        from repro.simulator import SimulatorConfig, build_simulator
+        from repro.core import StencilProgram
+
+        program = StencilProgram.from_json({
+            "inputs": {"a": {"dtype": "float64", "dims": ["i"]}},
+            "outputs": ["t"],
+            "shape": [512],
+            "program": {
+                "s": {"code": "a[i-1] + a[i]",
+                      "boundary_condition": {
+                          "a": {"type": "constant", "value": 1.0}}},
+                "t": {"code": "s[i] * 0.5",
+                      "boundary_condition": {
+                          "s": {"type": "constant", "value": 0.0}}},
+            },
+        })
+        device_of = {"s": 0, "t": 1}
+        keys = [("input:a", "stencil:s", "a"),
+                ("stencil:s", "stencil:t", "s")]
+        config = SimulatorConfig(
+            engine_mode="batched", network_latency=4,
+            network_link_rates={keys[1]: 0.5},
+            network_words_per_cycle=1.0)
+        # Only the cut edge is a link; give it rate 0.5.
+        simulator = build_simulator(program, config, device_of)
+        inputs = {"a": np.arange(512, dtype=np.float64)}
+        result = simulator.run(inputs)
+        assert simulator.window_count > 0
+        assert simulator.scalar_cycles == 0
+        assert result.cycles > 2 * 512  # the 0.5-rate link dominates
 
 
 class TestBatchedSourceUnit:

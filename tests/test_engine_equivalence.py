@@ -256,10 +256,13 @@ class TestMultiDevice:
                           device_of={"s0": 0, "s1": 1, "s2": 2},
                           network_latency=64)
 
-    @pytest.mark.parametrize("rate", [0.25, 0.5, 1.5])
+    @pytest.mark.parametrize("rate", [0.25, 0.5, 1.5,
+                                      # irreducible p/q with p > 1
+                                      1.0 / 3.0, 3.0 / 7.0, 5.0 / 8.0])
     def test_fractional_link_rates_batch_exactly(self, rate):
         # words_per_cycle != 1 batches through the closed-form credit
-        # schedule and must still match the scalar engine exactly.
+        # schedule (and the super-pattern window planner) and must
+        # still match the scalar engine exactly.
         program = chain_program(2, shape=(4, 4, 8))
         assert_equivalent(program, random_inputs(program),
                           device_of={"s0": 0, "s1": 1},
@@ -277,12 +280,69 @@ class TestMultiDevice:
         device_of = {}
         for idx, name in enumerate(names):
             device_of[name] = sum(idx >= s for s in split)
-        rate = float(rng.choice([0.25, 0.5, 0.75, 1.5]))
+        rate = float(rng.choice([0.25, 0.5, 0.75, 1.5,
+                                 1.0 / 3.0, 3.0 / 7.0]))
         latency = int(rng.choice([1, 4, 32, 64]))
         assert_equivalent(program, random_inputs(program),
                           device_of=device_of,
                           network_words_per_cycle=rate,
                           network_latency=latency)
+
+    _MIXED_RATES = [1.0 / 3.0, 0.5, 3.0 / 7.0, 0.75, 1.0, 1.5]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mixed_rate_fuzz(self, seed):
+        # Different p/q per link in one placement: each link follows its
+        # own credit schedule and the super-pattern window is the LCM
+        # of all of them.
+        rng = np.random.default_rng(3000 + seed)
+        program = chain_program(int(rng.integers(3, 5)), shape=(4, 4, 8))
+        names = program.stencil_names
+        devices = int(rng.integers(2, min(4, len(names)) + 1))
+        split = sorted(rng.choice(
+            np.arange(1, len(names)), size=devices - 1, replace=False))
+        device_of = {}
+        for idx, name in enumerate(names):
+            device_of[name] = sum(idx >= s for s in split)
+        rates = {key: float(rng.choice(self._MIXED_RATES))
+                 for key in edge_keys(program)}
+        assert_equivalent(program, random_inputs(program),
+                          device_of=device_of,
+                          network_words_per_cycle=0.5,
+                          network_link_rates=rates,
+                          network_latency=int(rng.choice([1, 8, 32])))
+
+    def test_completion_inside_stretched_window(self):
+        # Regression: a non-repeating super-pattern stretch used to
+        # extend one zero-progress cycle past machine completion,
+        # reporting cycles+1 vs the scalar engine.  Mixed irreducible
+        # rates with tight capacities and a deep wire finish the run
+        # inside a stretched window.
+        program = chain_program(4, shape=(4, 4, 8))
+        keys = edge_keys(program)
+        rates = dict(zip(keys, (1.0 / 3.0, 1.0 / 3.0, 1.0 / 7.0,
+                                1.0 / 3.0, 5.0 / 8.0)))
+        capacities = dict(zip(keys, (2, 5, 5, 3, 1)))
+        assert_equivalent(program, random_inputs(program),
+                          device_of={"s0": 0, "s1": 1, "s2": 1, "s3": 1},
+                          network_link_rates=rates,
+                          channel_capacities=capacities,
+                          network_latency=64)
+
+    def test_mixed_rate_two_cuts_exact(self):
+        # A deterministic mixed-rate machine: two cut edges at 1/3 and
+        # 5/8 words/cycle; the slower link must dominate and both
+        # engines must agree exactly.
+        program = chain_program(3, shape=(4, 4, 8))
+        keys = edge_keys(program)
+        rates = {key: rate for key, rate in zip(keys[1:], (1.0 / 3.0,
+                                                           5.0 / 8.0))}
+        scalar, _ = assert_equivalent(
+            program, random_inputs(program),
+            device_of={"s0": 0, "s1": 1, "s2": 2},
+            network_link_rates=rates)
+        words = program.num_cells // program.vectorization
+        assert scalar.cycles > 3 * words  # 1/3-rate link dominates
 
 
 class TestIntegerPrograms:
@@ -556,3 +616,27 @@ class TestEngineSelection:
         session = Session(program)
         result = session.run(lst1_inputs(), engine_mode="batched")
         assert result.validated
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_auto_never_falls_back_to_scalar_stepping(self, seed):
+        # engine_mode="auto" must select the batched engine for every
+        # fuzzed healthy config — fractional and mixed link rates
+        # included — and the batched engine must simulate it end to end
+        # without a single scalar-stepped cycle (the fallback is
+        # reserved for true standstills, i.e. deadlock detection).
+        from repro.simulator import build_simulator
+        rng = np.random.default_rng(4000 + seed)
+        program = chain_program(int(rng.integers(2, 4)), shape=(4, 4, 8))
+        names = program.stencil_names
+        device_of = {name: min(idx, 1) for idx, name in enumerate(names)}
+        rates = {key: float(rng.choice([1.0 / 3.0, 0.5, 3.0 / 7.0, 1.0]))
+                 for key in edge_keys(program)}
+        config = SimulatorConfig(
+            network_words_per_cycle=float(rng.choice([0.5, 1.0])),
+            network_link_rates=rates,
+            network_latency=int(rng.choice([1, 8, 32])))
+        assert resolve_engine_mode(config, device_of, program) == "batched"
+        simulator = build_simulator(program, config, device_of)
+        assert isinstance(simulator, BatchedSimulator)
+        simulator.run(random_inputs(program))
+        assert simulator.scalar_cycles == 0

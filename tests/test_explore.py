@@ -213,6 +213,29 @@ class TestExplorer:
         assert multi
         assert all(abs(e.model_error) <= 0.25 for e in multi)
 
+    def test_network_rates_sweep_runs_batched(self):
+        # The explorer's network_rates axis is exactly the
+        # configuration class the super-pattern planner accelerates:
+        # every fractional point must validate on the batched engine
+        # (no scalar fallback), including irreducible p/q rates.
+        space = ConfigSpace(vectorizations=(1,),
+                            device_counts=(2,),
+                            network_rates=(1.0, 0.5, 1.0 / 3.0,
+                                           3.0 / 7.0),
+                            network_latencies=(16,))
+        report = explore(small_chain(), space=space,
+                         strategy="exhaustive")
+        fractional = [e for e in report.entries
+                      if e.simulated
+                      and e.point.network_words_per_cycle < 1.0]
+        assert len(fractional) == 3
+        assert all(e.engine == "batched" for e in fractional)
+        # Slower links cost cycles, monotonically.
+        by_rate = sorted(fractional,
+                         key=lambda e: e.point.network_words_per_cycle)
+        cycles = [e.simulated_cycles for e in by_rate]
+        assert cycles == sorted(cycles, reverse=True)
+
     @pytest.mark.parametrize("program", [
         horizontal_diffusion(shape=(16, 16, 8)),
         build("swe", shape=(16, 16)),
