@@ -3,4 +3,12 @@
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_repro_cache(tmp_path, monkeypatch):
+    """Keep the persistent explore cache out of benchmark measurements."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

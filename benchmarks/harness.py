@@ -33,6 +33,7 @@ from repro.distributed import (
     partition_fixed,
 )
 from repro.hardware import STRATIX10, estimate_resources
+from repro.lowering import default_cache as lowering_cache
 from repro.perf import model_multi_device, model_performance
 from repro.programs import build, chain
 from repro.programs.iterative import SCALING_DOMAIN
@@ -163,6 +164,9 @@ def run_config(config_path: Path, slowdown: float = 1.0) -> dict:
     config = json.loads(config_path.read_text())
     cases = {}
     scores = []
+    artifacts = lowering_cache()
+    hits0, misses0 = artifacts.stats()
+    kinds0 = artifacts.stats_by_kind()
     for case in config["cases"]:
         # Calibrate immediately before each case: machine-load noise is
         # time-correlated, so a fresh score tracks it far better than
@@ -182,8 +186,23 @@ def run_config(config_path: Path, slowdown: float = 1.0) -> dict:
         print(f"  {case['name']}: {measured['cycles']} cycles, "
               f"{measured['cells_per_second']:,.0f} cells/s "
               f"(normalized {measured['normalized_throughput']})")
+    # Delta against the start of this call: run_config may run several
+    # times per process (the `baseline` rounds), and cumulative
+    # process-lifetime counters would misattribute earlier rounds.
+    hits1, misses1 = artifacts.stats()
+    hits, misses = hits1 - hits0, misses1 - misses0
+    deltas = {}
+    for kind, (h, m) in artifacts.stats_by_kind().items():
+        h0, m0 = kinds0.get(kind, (0, 0))
+        if (h - h0) or (m - m0):
+            deltas[kind] = (h - h0, m - m0)
+    per_kind = ", ".join(f"{kind} {h}/{h + m}"
+                         for kind, (h, m) in deltas.items())
+    print(f"  artifact cache: {misses} artifacts built, {hits} hits "
+          f"(hit/lookup by kind: {per_kind})")
     return {"calibration_score": round(sum(scores) / len(scores), 2),
-            "cases": cases}
+            "cases": cases,
+            "artifact_cache": {"hits": hits, "misses": misses}}
 
 
 def check_result(baseline: dict, result: dict,

@@ -21,7 +21,6 @@ from typing import Dict, Optional, Tuple
 from ..core.program import StencilProgram
 from ..errors import AnalysisError
 from ..graph.dag import StencilGraph
-from .delay_buffers import analyze_buffers
 
 
 def accumulated_halo(program: StencilProgram) -> Dict[str, int]:
@@ -109,7 +108,9 @@ class TilingPlan:
         padded = tuple(t + 2 * h for t, h in zip(self.tile, self.halo))
         shape = padded + (self.program.shape[-1],)
         tiled = _with_shape(self.program, shape)
-        return analyze_buffers(tiled).fast_memory_bytes()
+        # Deferred: repro.lowering imports repro.analysis modules.
+        from ..lowering import analysis_for
+        return analysis_for(tiled).fast_memory_bytes()
 
 
 def _with_shape(program: StencilProgram,

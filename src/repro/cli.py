@@ -22,10 +22,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from .analysis import analyze_buffers, certify_analysis
 from .codegen import generate_package
 from .core import StencilProgram
 from .graph import StencilGraph
+from .lowering import lower
 from .perf import (
     arithmetic_intensity_ops_per_byte,
     model_performance,
@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  default=32, metavar="CYCLES",
                                  help="propagation latency of inter-"
                                       "device links")
+            command.add_argument("--network-link-rate",
+                                 action="append", default=None,
+                                 metavar="SRC:DST[:FIELD]=RATE",
+                                 dest="network_link_rates",
+                                 help="per-link rate override "
+                                      "(repeatable), e.g. b1:b3=1/2; "
+                                      "wins over --network-words-per-"
+                                      "cycle on the named edge")
 
     explore = sub.add_parser(
         "explore",
@@ -122,6 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--depths", type=_parse_int_list,
                          default=(8,), metavar="D,D,...",
                          help="minimum channel depths to consider")
+    explore.add_argument("--canonicalize", default="off",
+                         choices=("off", "on", "both"),
+                         help="constant-folding transform axis: fixed "
+                              "off/on, or sweep both settings")
+    explore.add_argument("--fusion", default="off",
+                         choices=("off", "on", "both"),
+                         help="aggressive-fusion transform axis: fixed "
+                              "off/on, or sweep both settings (points "
+                              "whose transforms produce identical "
+                              "programs share every lowered artifact)")
+    explore.add_argument("--link-rate-set", action="append",
+                         default=None, dest="link_rate_sets",
+                         metavar="SRC:DST=R[,SRC:DST=R...]",
+                         help="one per-edge rate-override set to "
+                              "explore (repeatable; each use adds one "
+                              "axis value on top of the no-override "
+                              "default)")
     explore.add_argument("--seed", type=int, default=0,
                          help="random-input seed")
     explore.add_argument("--workers", type=int, default=None,
@@ -132,7 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--cache", type=Path, default=None,
                          help="JSON result-cache file; loaded when "
                               "present, updated after the sweep "
-                              "(makes repeated sweeps incremental)")
+                              "(defaults to the shared per-user cache "
+                              "under ~/.cache/repro or "
+                              "$REPRO_CACHE_DIR)")
+    explore.add_argument("--no-cache-persist", action="store_true",
+                         help="do not read or write the shared "
+                              "persistent result cache (the sweep "
+                              "still caches in-process; an explicit "
+                              "--cache file is always honoured)")
 
     sub.add_parser("list-programs",
                    help="list the bundled program catalog")
@@ -213,8 +245,9 @@ def _info(program: StencilProgram, args) -> int:
 
 
 def _analyze(program: StencilProgram, args) -> int:
-    analysis = analyze_buffers(program)
-    certificate = certify_analysis(analysis)
+    artifact = lower(program)
+    analysis = artifact.analysis
+    certificate = artifact.certificate()
     print(f"pipeline latency L = {analysis.pipeline_latency} cycles")
     print(f"fast memory: {analysis.fast_memory_bytes()} bytes")
     print(certificate.explain())
@@ -246,16 +279,25 @@ def _codegen(program: StencilProgram, args) -> int:
 
 def _run(program: StencilProgram, args) -> int:
     from .explore import default_inputs
-    from .simulator import SimulatorConfig, resolve_engine_mode
+    from .simulator import (
+        SimulatorConfig,
+        resolve_engine_mode,
+        resolve_link_rates,
+    )
 
     if args.shape is not None:
         program = program.with_shape(args.shape)
     inputs = default_inputs(program, args.seed)
 
+    link_rates = None
+    if args.network_link_rates:
+        link_rates = resolve_link_rates(program,
+                                        args.network_link_rates)
     config = SimulatorConfig(
         engine_mode=args.engine,
         network_words_per_cycle=args.network_words_per_cycle,
-        network_latency=args.network_latency)
+        network_latency=args.network_latency,
+        network_link_rates=link_rates)
 
     session = Session(program)
     device_of = None
@@ -268,6 +310,18 @@ def _run(program: StencilProgram, args) -> int:
           f"({devices} device{'s' if devices != 1 else ''}, "
           f"{args.partition} placement, "
           f"link rate {args.network_words_per_cycle:g} words/cycle)")
+    if link_rates:
+        from .lowering import graph_for, remote_edges
+        remote = set(remote_edges(graph_for(program),
+                                  device_of or {}))
+        parts = []
+        for (src, dst, data), rate in sorted(link_rates.items()):
+            tag = "" if (src, dst, data) in remote \
+                else " (local edge: no link, inactive)"
+            parts.append(
+                f"{src.split(':', 1)[-1]}->{dst.split(':', 1)[-1]}"
+                f":{data}={rate:g}{tag}")
+        print(f"link-rate overrides: {', '.join(parts)}")
     print(f"simulated {sim.cycles} cycles "
           f"(Eq. 1 model: {sim.expected_cycles}, "
           f"ratio {sim.model_accuracy:.3f})")
@@ -276,13 +330,27 @@ def _run(program: StencilProgram, args) -> int:
     return 0 if result.validated else 1
 
 
+def _parse_transform_axis(setting: str):
+    return {"off": (False,), "on": (True,),
+            "both": (False, True)}[setting]
+
+
 def _explore(program: StencilProgram, args) -> int:
-    from .explore import ConfigSpace, ResultCache, explore
+    from .explore import ConfigSpace, explore
+    from .simulator import parse_link_rate_spec
 
     if args.shape is not None:
         program = program.with_shape(args.shape)
     default = ConfigSpace.default_for(program,
                                       max_devices=args.max_devices)
+    link_rate_sets = [()]
+    for entry in args.link_rate_sets or ():
+        overrides = []
+        for spec in entry.split(","):
+            src, dst, data, rate = parse_link_rate_spec(spec)
+            edge = f"{src}:{dst}" + (f":{data}" if data else "")
+            overrides.append((edge, rate))
+        link_rate_sets.append(tuple(overrides))
     space = ConfigSpace(
         vectorizations=(tuple(args.widths) if args.widths
                         else default.vectorizations),
@@ -291,20 +359,22 @@ def _explore(program: StencilProgram, args) -> int:
         network_rates=tuple(args.rates),
         network_latencies=tuple(args.latencies),
         channel_depths=tuple(args.depths),
+        canonicalizations=_parse_transform_axis(args.canonicalize),
+        fusions=_parse_transform_axis(args.fusion),
+        link_rate_sets=tuple(dict.fromkeys(link_rate_sets)),
     )
-    cache = ResultCache()
-    if args.cache is not None and args.cache.exists():
-        cache = ResultCache.load(args.cache)
     report = explore(program, space=space, strategy=args.strategy,
                      beam_width=args.beam, seed=args.seed,
-                     workers=args.workers, cache=cache)
+                     workers=args.workers,
+                     persist=(args.cache is not None
+                              or not args.no_cache_persist),
+                     cache_path=args.cache)
     print("\n".join(report.summary_lines()))
     report.save(args.output)
     print(f"wrote {args.output} ({report.total_points} points, "
           f"{report.simulated_points} simulated, "
-          f"{report.cache_hits} cache hits)")
-    if args.cache is not None:
-        cache.save(args.cache)
+          f"{report.cache_hits} cache hits, "
+          f"{report.relowered_programs} analyses built)")
     return 0
 
 

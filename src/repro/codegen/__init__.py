@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..analysis.delay_buffers import BufferingAnalysis
 from ..core.program import StencilProgram
+from ..lowering import analysis_for
 from ..distributed.partition import Partition
 from .host import generate_host
 from .opencl import MIN_CHANNEL_DEPTH, OpenCLGenerator, generate_opencl
@@ -29,7 +30,7 @@ def generate_package(program: StencilProgram,
     per device, the host program, SMI headers when the design spans
     devices, and the sequential C reference.
     """
-    analysis = analysis or analyze_buffers(program)
+    analysis = analysis or analysis_for(program)
     files: Dict[str, str] = {}
     devices = partition.num_devices if partition else 1
     for device in range(devices):

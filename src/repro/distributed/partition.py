@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..analysis.delay_buffers import BufferingAnalysis
+from ..lowering import analysis_for
 from ..core.program import StencilProgram
 from ..errors import MappingError
 from ..graph.dag import StencilGraph
@@ -94,7 +95,7 @@ def partition_program(program: StencilProgram,
     cannot hold the program, or when a single stencil unit alone
     overflows a device.
     """
-    analysis = analysis or analyze_buffers(program)
+    analysis = analysis or analysis_for(program)
     graph = analysis.graph
     order = graph.stencil_topological_order()
     budget = platform.available.scaled(fill_fraction)
@@ -177,7 +178,7 @@ def _finalize(program: StencilProgram, graph: StencilGraph,
 
 def edge_latency_map(partition: Partition,
                      network_latency: int) -> Dict[EdgeKey, int]:
-    """Per-edge extra latency for :func:`analyze_buffers`."""
+    """Per-edge extra latency for the buffering-analysis stage."""
     return {key: network_latency for key in partition.cut_edges}
 
 

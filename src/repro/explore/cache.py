@@ -12,11 +12,39 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 from ..core.program import StencilProgram
+
+#: Environment override for where persistent caches live.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bound on the persisted entry count: merge-on-save never prunes by
+#: itself, so without a cap the default-on persistence would grow the
+#: file (and every sweep's load/save cost) forever.  When the merged
+#: map exceeds the cap, this process's own entries are kept and the
+#: remainder is filled deterministically.
+MAX_PERSISTED_ENTRIES = 8192
+
+#: Measurement-schema version, baked into every entry key.  Bump when
+#: simulator semantics legitimately change what a measurement means
+#: (cycle accounting, stall bookkeeping, ...): persisted entries from
+#: older versions then simply stop hitting, instead of serving stale
+#: cycle counts to end-user installs that never run the repo's
+#: bench-regression gate.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Directory for cross-process caches (override: ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
 
 
 @dataclass(frozen=True)
@@ -53,12 +81,12 @@ def program_fingerprint(program: StencilProgram) -> str:
 
     The width is a configuration axis, so it is normalized out; any
     other change (shape, code, boundary conditions...) changes the
-    fingerprint and invalidates cached results.
+    fingerprint and invalidates cached results.  This is the lowering
+    pipeline's *family hash* (``LoweredProgram.family_hash``), so
+    measurement-cache keys line up with artifact-cache keys.
     """
-    spec = program.to_json()
-    spec["vectorization"] = 1
-    canonical = json.dumps(spec, sort_keys=True)
-    return hashlib.sha1(canonical.encode()).hexdigest()
+    from ..lowering import program_content_hash
+    return program_content_hash(program, normalize_width=True)
 
 
 class ResultCache:
@@ -71,6 +99,7 @@ class ResultCache:
 
     def __init__(self):
         self._entries: Dict[str, Measurement] = {}
+        self._fresh: set = set()  # keys put() by this process
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -80,7 +109,8 @@ class ResultCache:
 
     @staticmethod
     def entry_key(fingerprint: str, simulation_key) -> str:
-        text = json.dumps([fingerprint, list(map(repr, simulation_key))])
+        text = json.dumps([CACHE_SCHEMA_VERSION, fingerprint,
+                           list(map(repr, simulation_key))])
         return hashlib.sha1(text.encode()).hexdigest()
 
     def get(self, fingerprint: str,
@@ -99,13 +129,39 @@ class ResultCache:
         key = self.entry_key(fingerprint, simulation_key)
         with self._lock:
             self._entries[key] = measurement
+            self._fresh.add(key)
 
     def reset_stats(self):
         with self._lock:
             self.hits = 0
             self.misses = 0
 
+    def merge(self, other: "ResultCache") -> int:
+        """Adopt ``other``'s entries this cache does not have yet.
+
+        Existing entries win (they are this process's freshest
+        measurements).  Returns the number of entries adopted; lookup
+        statistics are unaffected.
+        """
+        adopted = 0
+        with self._lock:
+            for key, entry in other._entries.items():
+                if key not in self._entries:
+                    self._entries[key] = entry
+                    adopted += 1
+        return adopted
+
     # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def default_path(cls) -> Path:
+        """Where the cross-process cache persists by default.
+
+        Entries are content-keyed (program fingerprint + machine
+        identity), so one shared file serves every program; see
+        ``docs/ARCHITECTURE.md`` for the invalidation contract.
+        """
+        return default_cache_dir() / "explore_cache.json"
 
     def to_json(self) -> dict:
         return {key: entry.to_json()
@@ -119,10 +175,81 @@ class ResultCache:
         return cache
 
     def save(self, path):
-        with open(path, "w") as handle:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w") as handle:
             json.dump(self.to_json(), handle, indent=2)
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, path) -> "ResultCache":
         with open(path) as handle:
             return cls.from_json(json.load(handle))
+
+    def load_persistent(self, path=None, quiet: bool = False) -> int:
+        """Merge the on-disk cache into this one (0 when absent/bad).
+
+        A missing, unreadable, or structurally drifted file is treated
+        as empty — persistence is on by default, so a corrupt cache
+        must never take ``explore`` down.
+        """
+        path = Path(path) if path is not None else self.default_path()
+        try:
+            on_disk = self.load(path)
+        except FileNotFoundError:
+            return 0
+        except Exception as exc:
+            # The file exists but does not parse: warn, because the
+            # end-of-sweep save will replace it.
+            if not quiet:
+                import sys
+                print(f"warning: ignoring unreadable result cache "
+                      f"{path} ({exc!r}); it will be rewritten",
+                      file=sys.stderr)
+            return 0
+        return self.merge(on_disk)
+
+    def save_persistent(self, path=None) -> bool:
+        """Merge-and-write this cache to disk; False when unwritable.
+
+        Re-reads the file first and replaces it atomically, so a
+        reader never sees a torn file.  The merge is best-effort, not
+        locked: two sweeps finishing at the same instant can race, and
+        the later writer's view wins (the loser's new entries are
+        simply re-measured next time).  The *shared default* file is
+        capped at :data:`MAX_PERSISTED_ENTRIES` — this process's
+        entries first, the rest filled deterministically by key order;
+        an explicitly named file is never capped (the caller owns its
+        growth).
+        """
+        capped = path is None
+        path = Path(path) if path is not None else self.default_path()
+        with self._lock:
+            merged = dict(self._entries)
+            fresh = set(self._fresh)
+        on_disk = ResultCache()
+        # The sweep already merged (and possibly warned about) this
+        # file at load time; this re-read only serves the
+        # concurrent-writer merge, so keep it quiet.
+        on_disk.load_persistent(path, quiet=True)
+        for key, entry in on_disk._entries.items():
+            merged.setdefault(key, entry)
+        if capped and len(merged) > MAX_PERSISTED_ENTRIES:
+            # This process's own measurements survive first; stale
+            # disk entries fill the remainder deterministically.
+            trimmed = {key: merged[key]
+                       for key in sorted(fresh)[:MAX_PERSISTED_ENTRIES]
+                       if key in merged}
+            for key in sorted(merged):
+                if len(trimmed) >= MAX_PERSISTED_ENTRIES:
+                    break
+                trimmed.setdefault(key, merged[key])
+            merged = trimmed
+        snapshot = ResultCache()
+        snapshot._entries = merged
+        try:
+            snapshot.save(path)
+        except OSError:
+            return False
+        return True

@@ -19,12 +19,13 @@ import numpy as np
 
 from ..core.program import StencilProgram
 from ..hardware.platform import FPGAPlatform, STRATIX10
+from ..lowering import default_cache as lowering_cache
 from ..simulator.engine import (
     SimulatorConfig,
     resolve_engine_mode,
     simulate,
 )
-from .cache import Measurement, ResultCache, program_fingerprint
+from .cache import Measurement, ResultCache
 from .prune import Prediction, Pruner
 from .report import ExplorationEntry, ExplorationReport
 from .search import GreedySearch, SearchStrategy, get_strategy
@@ -62,8 +63,9 @@ def explore(program: StencilProgram,
             workers: Optional[int] = None,
             cache: Optional[ResultCache] = None,
             engine_mode: str = "auto",
-            inputs: Optional[Mapping[str, np.ndarray]] = None
-            ) -> ExplorationReport:
+            inputs: Optional[Mapping[str, np.ndarray]] = None,
+            persist: bool = True,
+            cache_path=None) -> ExplorationReport:
     """Sweep ``program``'s design space and rank what survives.
 
     Args:
@@ -84,11 +86,23 @@ def explore(program: StencilProgram,
         engine_mode: simulator engine selection per point.
         inputs: concrete input arrays (generated from ``seed`` when
             omitted).
+        persist: merge the on-disk result cache in before the sweep
+            and write it back after, so sweeps are incremental *across
+            processes* by default (measurements are content-keyed by
+            lowered-program hash + machine identity).  Opt out with
+            ``persist=False`` / ``repro explore --no-cache-persist``.
+        cache_path: where the persistent cache lives (defaults to
+            ``ResultCache.default_path()``; override the directory
+            with ``REPRO_CACHE_DIR``).
     """
     start = time.perf_counter()
     space = space or ConfigSpace.default_for(program, platform)
     cache = cache if cache is not None else ResultCache()
+    if persist:
+        cache.load_persistent(cache_path)
     cache.reset_stats()
+    artifacts = lowering_cache()
+    lowering_hits0, relowered0 = artifacts.stats("analysis")
     if isinstance(strategy, str) and strategy in ("greedy", "beam"):
         strategy = GreedySearch(beam_width=beam_width)
     else:
@@ -112,15 +126,17 @@ def explore(program: StencilProgram,
         selected.append(base)
 
     # Stage 3: simulate the frontier in parallel. Points that build
-    # identical machines share one simulation through the cache key.
-    fingerprint = program_fingerprint(program)
+    # identical machines — including transform axes whose lowered
+    # programs coincide — share one simulation through the
+    # (family-hash, machine) cache key.
     if inputs is None:
         inputs = default_inputs(program, seed)
     measurements = _simulate_frontier(
-        pruner, [by_point[p] for p in selected], fingerprint, inputs,
+        pruner, [by_point[p] for p in selected], inputs,
         engine_mode, cache, workers)
 
     # Stage 4: assemble, rank, and mark the Pareto frontier.
+    lowering_hits1, relowered1 = artifacts.stats("analysis")
     entries = _build_entries(predictions, measurements, base)
     report = ExplorationReport(
         program=program.name,
@@ -132,13 +148,25 @@ def explore(program: StencilProgram,
         entries=entries,
         wall_seconds=time.perf_counter() - start,
         cache_hits=cache.hits,
+        lowering_cache_hits=lowering_hits1 - lowering_hits0,
+        relowered_programs=relowered1 - relowered0,
     )
+    if persist and not cache.save_persistent(cache_path):
+        import sys
+        print("warning: could not write the persistent result cache "
+              "(set REPRO_CACHE_DIR to a writable directory, or pass "
+              "persist=False / --no-cache-persist)", file=sys.stderr)
     return report
+
+
+def _machine_key(prediction: Prediction) -> Tuple:
+    """Full identity of the simulated machine: lowered program family
+    plus machine tunables."""
+    return (prediction.family_hash, prediction.simulation_key)
 
 
 def _simulate_frontier(pruner: Pruner,
                        predictions: Sequence[Prediction],
-                       fingerprint: str,
                        inputs: Mapping[str, np.ndarray],
                        engine_mode: str,
                        cache: ResultCache,
@@ -146,25 +174,36 @@ def _simulate_frontier(pruner: Pruner,
                        ) -> Dict[Tuple, Tuple[Measurement, bool]]:
     """Measure every distinct machine among ``predictions``.
 
-    Returns ``simulation_key -> (measurement, cache_hit)``.  Duplicate
-    machines (points whose placements coincide) are simulated once.
+    Returns ``machine_key -> (measurement, cache_hit)``.  Duplicate
+    machines (points whose placements coincide, or whose transforms
+    lower to the same program) are simulated once.
     """
     distinct: Dict[Tuple, Prediction] = {}
     for prediction in predictions:
-        distinct.setdefault(prediction.simulation_key, prediction)
+        distinct.setdefault(_machine_key(prediction), prediction)
+
+    # The *resolved* engine is part of the entry key: cycle counts are
+    # engine-independent (enforced by the equivalence suite), but the
+    # measurement's engine/wall-time metadata is not, and the cache
+    # persists across processes by default.  Resolving first keeps
+    # "auto" and its concrete engine sharing one entry.
+    resolved_engine = resolve_engine_mode(
+        SimulatorConfig(engine_mode=engine_mode))
 
     def measure(prediction: Prediction) -> Tuple[Measurement, bool]:
-        key = prediction.simulation_key
-        cached = cache.get(fingerprint, key)
+        key = (resolved_engine,) + prediction.simulation_key
+        cached = cache.get(prediction.family_hash, key)
         if cached is not None:
             return cached, True
         point = prediction.point
-        prog_w = pruner.program_at(point.vectorization)
+        prog_w = pruner.program_at(point)
         config = SimulatorConfig(
             engine_mode=engine_mode,
             network_words_per_cycle=point.network_words_per_cycle,
             network_latency=point.network_latency,
-            min_channel_depth=point.min_channel_depth)
+            min_channel_depth=point.min_channel_depth,
+            network_link_rates=dict(prediction.link_rates_resolved)
+            if prediction.link_rates_resolved else None)
         began = time.perf_counter()
         result = simulate(prog_w, inputs, config,
                           device_of=prediction.device_of)
@@ -172,8 +211,10 @@ def _simulate_frontier(pruner: Pruner,
             simulated_cycles=result.cycles,
             sim_expected_cycles=result.expected_cycles,
             wall_seconds=time.perf_counter() - began,
-            engine=resolve_engine_mode(config, prediction.device_of))
-        cache.put(fingerprint, key, measurement)
+            # The same resolution that keys the entry: key and
+            # metadata cannot diverge.
+            engine=resolved_engine)
+        cache.put(prediction.family_hash, key, measurement)
         return measurement, False
 
     ordered = list(distinct.values())
@@ -183,7 +224,7 @@ def _simulate_frontier(pruner: Pruner,
             results = list(pool.map(measure, ordered))
     else:
         results = [measure(p) for p in ordered]
-    return {p.simulation_key: outcome
+    return {_machine_key(p): outcome
             for p, outcome in zip(ordered, results)}
 
 
@@ -194,7 +235,7 @@ def _build_entries(predictions: Sequence[Prediction],
                    ) -> Tuple[ExplorationEntry, ...]:
     records = []
     for prediction in predictions:
-        outcome = measurements.get(prediction.simulation_key) \
+        outcome = measurements.get(_machine_key(prediction)) \
             if prediction.feasible else None
         measurement, cache_hit = outcome if outcome else (None, False)
         error = None

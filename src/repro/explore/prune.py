@@ -14,23 +14,31 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..analysis.delay_buffers import BufferingAnalysis
 from ..core.program import StencilProgram
 from ..distributed.partition import (
     Partition,
     check_network_feasible,
     contiguous_device_split,
-    edge_latency_map,
     partition_fixed,
     partition_program,
 )
-from ..errors import MappingError
+from ..errors import MappingError, ValidationError
 from ..hardware.platform import FPGAPlatform, ResourceVector, STRATIX10
 from ..hardware.resources import (
     delay_buffer_resources,
     estimate_resources,
 )
+from ..lowering import (
+    LoweredProgram,
+    LoweringConfig,
+    analysis_for,
+    lower,
+    remote_edge_latency,
+    remote_edges,
+)
 from ..perf.pipeline import model_multi_device, model_performance
+from ..simulator.engine import resolve_link_rates
 from .space import ConfigPoint
 
 
@@ -55,6 +63,12 @@ class Prediction:
         utilization: worst per-device resource fraction.
         network_headroom: available/required link bandwidth (``inf``
             when nothing crosses devices).
+        family_hash: content hash of the point's *lowered* program
+            modulo vectorization — measurement-cache identity, so
+            transform axes whose points collapse to the same program
+            share simulations.
+        link_rates_resolved: the point's per-edge rate overrides
+            resolved to simulator channel keys.
     """
 
     point: ConfigPoint
@@ -67,61 +81,112 @@ class Prediction:
     frequency_mhz: Optional[float] = None
     utilization: Optional[float] = None
     network_headroom: Optional[float] = None
+    family_hash: Optional[str] = None
+    link_rates_resolved: Optional[Tuple] = None
 
     @property
     def simulation_key(self) -> Tuple:
         """Identity of the *simulated machine* this point builds.
 
-        Distinct points can induce identical machines (e.g. ``auto``
-        and ``contiguous`` placements that coincide); they share cache
-        entries through this key.
+        Distinct points can induce identical machines — ``auto`` and
+        ``contiguous`` placements that coincide, or transform flags
+        that do not change the program (the lowered identity rides the
+        ``family_hash`` instead) — and share cache entries through
+        this key.
         """
         placement = tuple(sorted((self.device_of or {}).items()))
         return (self.point.vectorization, placement,
                 self.point.network_words_per_cycle,
                 self.point.network_latency,
-                self.point.min_channel_depth)
+                self.point.min_channel_depth,
+                tuple(self.link_rates_resolved or ()))
 
 
 class Pruner:
     """Prices configuration points against the analytic models.
 
-    Memoizes per-width programs, analyses, and resource estimates so a
-    sweep over a large space does not repeat work (the same width
-    appears once per device-axis value).
+    Lowered programs, analyses, and resource estimates all come out of
+    the content-addressed artifact cache (:mod:`repro.lowering`), so a
+    sweep over a large space — including transform axes — prices each
+    *distinct lowered program* once, not each point.
     """
 
     def __init__(self, program: StencilProgram,
                  platform: FPGAPlatform = STRATIX10):
         self.program = program
         self.platform = platform
-        self._programs: Dict[int, StencilProgram] = {}
+        self._estimates: Dict[Tuple, object] = {}
         self._analyses: Dict[Tuple, BufferingAnalysis] = {}
-        self._estimates: Dict[int, object] = {}
+        self._lowered: Dict[Tuple, LoweredProgram] = {}
 
     # -- memoized building blocks -------------------------------------------
 
-    def program_at(self, width: int) -> StencilProgram:
-        if width not in self._programs:
-            self._programs[width] = \
-                self.program.with_vectorization(width)
-        return self._programs[width]
+    @staticmethod
+    def _flags(point) -> Tuple[bool, bool]:
+        if isinstance(point, ConfigPoint):
+            return point.canonicalize, point.fusion
+        return False, False
 
-    def analysis_at(self, width: int,
+    def lowered_at(self, point) -> LoweredProgram:
+        """The point's transform+vectorize lowering (cached artifact).
+
+        ``point`` may be a :class:`ConfigPoint` or a bare width (the
+        historical call form, meaning no transforms).  Memoized per
+        (width, transforms): one predict() asks for the artifact
+        several times, and re-entering the pipeline costs a content
+        hash over the whole program.
+        """
+        width = point.vectorization if isinstance(point, ConfigPoint) \
+            else int(point)
+        key = (width,) + self._flags(point)
+        if key not in self._lowered:
+            canonicalize, fusion = self._flags(point)
+            self._lowered[key] = lower(self.program, LoweringConfig(
+                canonicalize=canonicalize, fusion=fusion,
+                vectorization=width), platform=self.platform)
+        return self._lowered[key]
+
+    def program_at(self, point) -> StencilProgram:
+        return self.lowered_at(point).program
+
+    @staticmethod
+    def _artifact_key(lowered: LoweredProgram,
+                      partition: Optional[Partition],
+                      network_latency: int) -> Tuple:
+        """Shared memo identity of the priced machine: lowered program
+        plus effective placement (latency only matters when something
+        spans devices)."""
+        multi = partition is not None \
+            and not partition.is_single_device
+        placement = tuple(sorted(partition.device_of.items())) \
+            if multi else ()
+        return (lowered.program_hash, placement,
+                network_latency if multi else 0)
+
+    def analysis_at(self, point,
                     partition: Optional[Partition] = None,
                     network_latency: int = 0) -> BufferingAnalysis:
-        cut = partition.cut_edges if partition is not None else ()
-        key = (width, cut, network_latency if cut else 0)
-        if key not in self._analyses:
+        lowered = self.lowered_at(point)
+        multi = partition is not None \
+            and not partition.is_single_device
+        memo_key = self._artifact_key(lowered, partition,
+                                      network_latency)
+        if memo_key not in self._analyses:
             edge_latency = None
-            if partition is not None and cut:
-                edge_latency = edge_latency_map(partition,
-                                                network_latency)
-            self._analyses[key] = analyze_buffers(
-                self.program_at(width), edge_latency=edge_latency)
-        return self._analyses[key]
+            if multi:
+                # Price what the simulator will build: every remote
+                # edge — input→stencil links included — carries
+                # latency, and the shared keying means this *is* the
+                # engine's analysis.
+                edge_latency = remote_edge_latency(
+                    lowered.graph, partition.device_of,
+                    network_latency)
+            self._analyses[memo_key] = analysis_for(
+                lowered.program, edge_latency=edge_latency,
+                program_hash=lowered.program_hash)
+        return self._analyses[memo_key]
 
-    def estimate_at(self, width: int,
+    def estimate_at(self, point,
                     partition: Optional[Partition] = None,
                     network_latency: int = 0):
         """Resource estimate keyed like the analysis it derives from.
@@ -130,44 +195,69 @@ class Pruner:
         network links stretch the delay buffers, and those FIFOs cost
         real M20K.
         """
-        cut = partition.cut_edges if partition is not None else ()
-        key = (width, cut, network_latency if cut else 0)
+        lowered = self.lowered_at(point)
+        key = self._artifact_key(lowered, partition, network_latency)
         if key not in self._estimates:
             self._estimates[key] = estimate_resources(
-                self.program_at(width), self.platform,
-                self.analysis_at(width, partition, network_latency))
+                lowered.program, self.platform,
+                self.analysis_at(point, partition, network_latency))
         return self._estimates[key]
 
     # -- the verdict ---------------------------------------------------------
 
     def predict(self, point: ConfigPoint) -> Prediction:
         """Run every analytic check on ``point``."""
-        program = self.program
         width = point.vectorization
-        if program.shape[-1] % width != 0:
+        if self.program.shape[-1] % width != 0:
             return Prediction(
                 point=point, feasible=False,
                 reason=f"vectorization {width} does not divide the "
-                       f"innermost extent {program.shape[-1]}")
+                       f"innermost extent {self.program.shape[-1]}")
 
-        prog_w = self.program_at(width)
+        lowered = self.lowered_at(point)
+        prog_w = lowered.program
+        resolved = None
+        if point.link_rates:
+            try:
+                resolved = resolve_link_rates(prog_w, point.link_rates,
+                                              graph=lowered.graph)
+            except ValidationError as exc:
+                return Prediction(
+                    point=point, feasible=False,
+                    family_hash=lowered.family_hash,
+                    reason=str(exc))
         try:
             partition = self._place(prog_w, point)
         except MappingError as exc:
             return Prediction(point=point, feasible=False,
+                              family_hash=lowered.family_hash,
                               reason=f"placement failed: {exc}")
 
+        # Only remote edges become rate-limited links: drop overrides
+        # on local edges so machines that coincide (e.g. the same
+        # single-device design with and without an ineffective
+        # override) share one simulation key and one measurement.
+        link_rates = None
+        remote = None
+        if resolved:
+            remote = remote_edges(lowered.graph, partition.device_of)
+            remote_set = set(remote)
+            link_rates = tuple(sorted(
+                (key, rate) for key, rate in resolved.items()
+                if key in remote_set)) or None
+
         devices_used = partition.num_devices
-        estimate = self.estimate_at(width, partition,
+        estimate = self.estimate_at(point, partition,
                                     point.network_latency)
-        analysis = self.analysis_at(width, partition,
+        analysis = self.analysis_at(point, partition,
                                     point.network_latency)
         overflow = self._device_overflow(partition, estimate, analysis)
         if overflow is not None:
             return Prediction(
                 point=point, feasible=False,
                 device_of=dict(partition.device_of),
-                devices_used=devices_used, reason=overflow)
+                devices_used=devices_used,
+                family_hash=lowered.family_hash, reason=overflow)
 
         headroom = float("inf")
         if devices_used > 1:
@@ -178,10 +268,12 @@ class Pruner:
                 return Prediction(
                     point=point, feasible=False,
                     device_of=dict(partition.device_of),
-                    devices_used=devices_used, reason=str(exc))
+                    devices_used=devices_used,
+                    family_hash=lowered.family_hash, reason=str(exc))
 
         predicted_cycles = self._eq1_cycles(prog_w, analysis, point,
-                                            devices_used)
+                                            devices_used, link_rates,
+                                            remote)
         report = self._platform_report(prog_w, partition, point)
 
         device_of = dict(partition.device_of) if devices_used > 1 \
@@ -197,6 +289,8 @@ class Pruner:
             utilization=self._worst_utilization(partition, estimate,
                                                 analysis),
             network_headroom=headroom,
+            family_hash=lowered.family_hash,
+            link_rates_resolved=link_rates,
         )
 
     # -- helpers -------------------------------------------------------------
@@ -206,7 +300,7 @@ class Pruner:
         if point.partition == "auto":
             return partition_program(
                 prog_w, self.platform, max_devices=point.devices,
-                analysis=self.analysis_at(point.vectorization))
+                analysis=self.analysis_at(point))
         device_of = contiguous_device_split(prog_w, point.devices)
         return partition_fixed(prog_w, device_of)
 
@@ -267,17 +361,29 @@ class Pruner:
 
     def _eq1_cycles(self, prog_w: StencilProgram,
                     analysis: BufferingAnalysis, point: ConfigPoint,
-                    devices_used: int) -> int:
+                    devices_used: int,
+                    link_rates: Optional[Tuple] = None,
+                    remote: Optional[Tuple] = None) -> int:
         """``C = L + I*N`` against the *simulated* machine.
 
         Fractional link rates stretch the steady state: each cut stream
         delivers at most ``rate`` vector words per cycle, so a rate
-        below one throttles the whole pipeline by ``1/rate``.
+        below one throttles the whole pipeline by ``1/rate``.  With
+        per-edge overrides (:attr:`ConfigPoint.link_rates`) each
+        *remote* edge (``remote``, from the shared
+        :func:`repro.lowering.remote_edges` rule — input→stencil
+        links included) runs at its own effective rate, and the
+        slowest remote edge governs (an override above the global
+        rate un-throttles its edge).
         """
         steady = prog_w.num_cells // prog_w.vectorization
         rate = point.network_words_per_cycle
-        if devices_used > 1 and rate < 1.0:
-            steady = math.ceil(steady / rate)
+        if devices_used > 1:
+            if link_rates and remote:
+                overrides = dict(link_rates)
+                rate = min(overrides.get(key, rate) for key in remote)
+            if rate < 1.0:
+                steady = math.ceil(steady / rate)
         return analysis.pipeline_latency + steady
 
     def _platform_report(self, prog_w: StencilProgram,
@@ -285,7 +391,10 @@ class Pruner:
         if partition.is_single_device:
             return model_performance(
                 prog_w, self.platform,
-                analysis=self.analysis_at(point.vectorization))
-        return model_multi_device(prog_w, partition, self.platform,
-                                  network_latency=point.network_latency,
-                                  check_network=False)
+                analysis=self.analysis_at(point))
+        return model_multi_device(
+            prog_w, partition, self.platform,
+            network_latency=point.network_latency,
+            check_network=False,
+            analysis=self.analysis_at(point, partition,
+                                      point.network_latency))

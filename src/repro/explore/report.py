@@ -82,6 +82,14 @@ class ExplorationReport:
     entries: Tuple[ExplorationEntry, ...]
     wall_seconds: float = 0.0
     cache_hits: int = 0
+    #: Buffering analyses served from the artifact cache during the
+    #: sweep, and analyses actually (re)built — one per distinct
+    #: (lowered program, edge-latency map), so a multi-device axis
+    #: legitimately counts more than one per program.  A repeated
+    #: identical sweep in one process reports
+    #: ``relowered_programs == 0``.
+    lowering_cache_hits: int = 0
+    relowered_programs: int = 0
 
     # -- derived views -------------------------------------------------------
 
@@ -170,6 +178,8 @@ class ExplorationReport:
             "space": self.space.to_json(),
             "wall_seconds": self.wall_seconds,
             "cache_hits": self.cache_hits,
+            "lowering_cache_hits": self.lowering_cache_hits,
+            "relowered_programs": self.relowered_programs,
             "summary": {
                 "total_points": self.total_points,
                 "feasible_points": self.feasible_points,
@@ -198,6 +208,8 @@ class ExplorationReport:
                           for e in spec["entries"]),
             wall_seconds=spec["wall_seconds"],
             cache_hits=spec["cache_hits"],
+            lowering_cache_hits=spec.get("lowering_cache_hits", 0),
+            relowered_programs=spec.get("relowered_programs", 0),
         )
 
     def save(self, path):
@@ -234,6 +246,10 @@ class ExplorationReport:
         error = self.worst_model_error
         if error is not None:
             lines.append(f"  worst |model error|: {error:.2%}")
+        lines.append(
+            f"  lowering: {self.relowered_programs} analyses "
+            f"(re)built, {self.lowering_cache_hits} artifact-cache "
+            f"hits; {self.cache_hits} measurement-cache hits")
         for entry in self.ranked[:5]:
             mark = "*" if entry.pareto else " "
             base = " [baseline]" if entry.baseline else ""

@@ -11,6 +11,7 @@ derives a sensible space from the program and platform.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, fields
 from typing import Mapping, Tuple
 
@@ -42,6 +43,15 @@ class ConfigPoint:
         network_latency: propagation latency of inter-device links.
         min_channel_depth: capacity added on top of each edge's computed
             delay buffer.
+        canonicalize: run the constant-folding pass before mapping.
+        fusion: run aggressive stencil fusion before mapping.  Points
+            whose transforms produce identical programs share every
+            lowered artifact and simulation measurement (the caches key
+            on the lowered program's content hash, not the point).
+        link_rates: per-edge rate overrides, as ``(spec, rate)`` pairs
+            where ``spec`` is ``SRC:DST`` or ``SRC:DST:FIELD`` in bare
+            node names (resolved against the program DAG at pricing
+            time; see :func:`repro.simulator.resolve_link_rates`).
     """
 
     vectorization: int = 1
@@ -50,8 +60,22 @@ class ConfigPoint:
     network_words_per_cycle: float = 1.0
     network_latency: int = 32
     min_channel_depth: int = 8
+    canonicalize: bool = False
+    fusion: bool = False
+    link_rates: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self):
+        if not all(math.isfinite(rate) and rate > 0
+                   for _, rate in self.link_rates):
+            raise DefinitionError(
+                f"link-rate overrides must be finite and > 0, got "
+                f"{self.link_rates}")
+        # Normalize the override order so the same set written in a
+        # different order is the same point (one entry in the space,
+        # one prediction, one report row).
+        normalized = tuple(sorted(self.link_rates))
+        if normalized != self.link_rates:
+            object.__setattr__(self, "link_rates", normalized)
         if self.vectorization < 1:
             raise DefinitionError(
                 f"vectorization must be >= 1, got {self.vectorization}")
@@ -79,13 +103,22 @@ class ConfigPoint:
         """Canonical hashable identity (stable across processes)."""
         return (self.vectorization, self.devices, self.partition,
                 self.network_words_per_cycle, self.network_latency,
-                self.min_channel_depth)
+                self.min_channel_depth, self.canonicalize, self.fusion,
+                self.link_rates)
 
     def label(self) -> str:
         """Compact human-readable tag used in reports and logs."""
         tag = f"W{self.vectorization} x{self.devices}{self.partition[0]}"
+        if self.canonicalize:
+            tag += " cz"
+        if self.fusion:
+            tag += " fu"
         if self.network_words_per_cycle != 1.0:
             tag += f" r{self.network_words_per_cycle:g}"
+        if self.link_rates:
+            tag += " lr(" + ",".join(
+                f"{spec}={rate:g}" for spec, rate in self.link_rates) \
+                + ")"
         if self.network_latency != 32:
             tag += f" L{self.network_latency}"
         if self.min_channel_depth != 8:
@@ -100,11 +133,25 @@ class ConfigPoint:
             "network_words_per_cycle": self.network_words_per_cycle,
             "network_latency": self.network_latency,
             "min_channel_depth": self.min_channel_depth,
+            "canonicalize": self.canonicalize,
+            "fusion": self.fusion,
+            "link_rates": [[spec, rate]
+                           for spec, rate in self.link_rates],
         }
 
     @classmethod
     def from_json(cls, spec: Mapping) -> "ConfigPoint":
-        return cls(**{f.name: spec[f.name] for f in fields(cls)})
+        kwargs = {}
+        for f in fields(cls):
+            if f.name == "canonicalize" or f.name == "fusion":
+                kwargs[f.name] = bool(spec.get(f.name, False))
+            elif f.name == "link_rates":
+                kwargs[f.name] = tuple(
+                    (str(s), float(r))
+                    for s, r in spec.get("link_rates", ()))
+            else:
+                kwargs[f.name] = spec[f.name]
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -122,13 +169,18 @@ class ConfigSpace:
     network_rates: Tuple[float, ...] = (1.0,)
     network_latencies: Tuple[int, ...] = (32,)
     channel_depths: Tuple[int, ...] = (8,)
+    canonicalizations: Tuple[bool, ...] = (False,)
+    fusions: Tuple[bool, ...] = (False,)
+    link_rate_sets: Tuple[Tuple[Tuple[str, float], ...], ...] = ((),)
 
     @property
     def size(self) -> int:
         n = 1
         for axis in (self.vectorizations, self.device_counts,
                      self.partitions, self.network_rates,
-                     self.network_latencies, self.channel_depths):
+                     self.network_latencies, self.channel_depths,
+                     self.canonicalizations, self.fusions,
+                     self.link_rate_sets):
             n *= len(axis)
         return n
 
@@ -141,12 +193,14 @@ class ConfigSpace:
         product = itertools.product(
             self.vectorizations, self.device_counts, self.partitions,
             self.network_rates, self.network_latencies,
-            self.channel_depths)
+            self.channel_depths, self.canonicalizations, self.fusions,
+            self.link_rate_sets)
         return tuple(dict.fromkeys(
             ConfigPoint(vectorization=w, devices=d, partition=p,
                         network_words_per_cycle=r, network_latency=lat,
-                        min_channel_depth=depth)
-            for w, d, p, r, lat, depth in product))
+                        min_channel_depth=depth, canonicalize=cz,
+                        fusion=fu, link_rates=tuple(lr))
+            for w, d, p, r, lat, depth, cz, fu, lr in product))
 
     @classmethod
     def default_for(cls, program: StencilProgram,
@@ -186,8 +240,23 @@ class ConfigSpace:
             "network_rates": list(self.network_rates),
             "network_latencies": list(self.network_latencies),
             "channel_depths": list(self.channel_depths),
+            "canonicalizations": list(self.canonicalizations),
+            "fusions": list(self.fusions),
+            "link_rate_sets": [[[spec, rate] for spec, rate in entry]
+                               for entry in self.link_rate_sets],
         }
 
     @classmethod
     def from_json(cls, spec: Mapping) -> "ConfigSpace":
-        return cls(**{f.name: tuple(spec[f.name]) for f in fields(cls)})
+        kwargs = {}
+        for f in fields(cls):
+            if f.name == "canonicalizations" or f.name == "fusions":
+                kwargs[f.name] = tuple(
+                    bool(v) for v in spec.get(f.name, (False,)))
+            elif f.name == "link_rate_sets":
+                kwargs[f.name] = tuple(
+                    tuple((str(s), float(r)) for s, r in entry)
+                    for entry in spec.get(f.name, ((),)))
+            else:
+                kwargs[f.name] = tuple(spec[f.name])
+        return cls(**kwargs)

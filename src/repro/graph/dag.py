@@ -288,3 +288,25 @@ class StencilGraph:
                 f"{len(self.stencil_ids())} stencils, "
                 f"{len(self.output_ids())} outputs, "
                 f"{len(self.edges)} edges)")
+
+
+def node_device(graph: StencilGraph, node_id: str,
+                device_of) -> int:
+    """Device of ``node_id`` under a stencil-name → device placement.
+
+    Stencils map directly (default device 0); an input node lives with
+    its first consumer, an output node with its producer — the rule the
+    simulator uses to decide which edges become network links.
+    """
+    node = graph.node(node_id)
+    if node.kind == "stencil":
+        return device_of.get(node.name, 0)
+    if node.kind == "input":
+        consumers = graph.successors(node_id)
+        if consumers:
+            return node_device(graph, consumers[0], device_of)
+        return 0
+    producers = graph.predecessors(node_id)
+    if producers:
+        return node_device(graph, producers[0], device_of)
+    return 0

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..analysis.delay_buffers import BufferingAnalysis
 from ..core.program import StencilProgram
 from ..errors import MappingError
 from ..expr.analysis import OpCensus
@@ -62,7 +62,11 @@ def stencil_unit_resources(program: StencilProgram, stencil_name: str,
                            analysis: Optional[BufferingAnalysis] = None
                            ) -> ResourceVector:
     """Resources of one stencil unit (compute + its buffers)."""
-    analysis = analysis or analyze_buffers(program)
+    if analysis is None:
+        # Deferred: repro.lowering imports this package's platform
+        # module, which loads through repro.hardware.
+        from ..lowering import analysis_for
+        analysis = analysis_for(program)
     stencil = program.stencil(stencil_name)
     width = program.vectorization
     # Price the hardware the HLS compiler actually builds: common
@@ -112,7 +116,9 @@ def estimate_resources(program: StencilProgram,
                        analysis: Optional[BufferingAnalysis] = None
                        ) -> ResourceEstimate:
     """Estimate the whole design's resources on ``platform``."""
-    analysis = analysis or analyze_buffers(program)
+    if analysis is None:
+        from ..lowering import analysis_for
+        analysis = analysis_for(program)
     per_stencil: Dict[str, ResourceVector] = {}
     total = ResourceVector()
     for stencil in program.stencils:

@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..analysis.delay_buffers import BufferingAnalysis
+from ..lowering import analysis_for
 from ..core.program import StencilProgram
 from ..distributed.partition import (
     Partition,
@@ -115,7 +116,7 @@ def model_performance(program: StencilProgram,
             workload-specific access patterns (e.g. horizontal
             diffusion's mixed read/write streams, Tab. II).
     """
-    analysis = analysis or analyze_buffers(program)
+    analysis = analysis or analysis_for(program)
     resources = estimate_resources(program, platform, analysis)
     f = frequency_mhz if frequency_mhz is not None else \
         design_frequency_mhz(resources)
@@ -148,7 +149,9 @@ def model_multi_device(program: StencilProgram,
                        partition: Partition,
                        platform: FPGAPlatform = STRATIX10,
                        network_latency: int = 32,
-                       check_network: bool = True) -> PerformanceReport:
+                       check_network: bool = True,
+                       analysis: Optional[BufferingAnalysis] = None
+                       ) -> PerformanceReport:
     """Model a partitioned execution across a device chain (Sec. III-B).
 
     All devices run the same global pipeline; cut edges add network
@@ -156,9 +159,15 @@ def model_multi_device(program: StencilProgram,
     shell and close at a lower clock (Fig. 14/15's multi-node bars;
     see ``calibration.MULTI_NODE_FREQ_MHZ``). When the cut streams'
     bandwidth exceeds the links, throughput is throttled accordingly.
+
+    ``analysis`` lets callers that already lowered the partitioned
+    machine (the explorer's Pruner) price from the same artifact; the
+    default recomputes one from the partition's cut edges.
     """
-    analysis = analyze_buffers(
-        program, edge_latency=edge_latency_map(partition, network_latency))
+    if analysis is None:
+        analysis = analysis_for(
+            program,
+            edge_latency=edge_latency_map(partition, network_latency))
     resources = estimate_resources(program, platform, analysis)
 
     if partition.is_single_device:

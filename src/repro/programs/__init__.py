@@ -24,6 +24,7 @@ from .iterative import (
     jacobi3d_code,
     single,
 )
+from .image_pipeline import image_pipeline
 from .shallow_water import shallow_water
 from .vertical_advection import vertical_advection
 
@@ -41,6 +42,7 @@ __all__ = [
     "diffusion2d_code",
     "diffusion3d_code",
     "horizontal_diffusion",
+    "image_pipeline",
     "jacobi2d_code",
     "jacobi3d_code",
     "laplace2d",

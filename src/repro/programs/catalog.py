@@ -9,6 +9,7 @@ from ..core.program import StencilProgram
 from ..errors import DefinitionError
 from . import iterative
 from .horizontal_diffusion import horizontal_diffusion
+from .image_pipeline import image_pipeline
 from .shallow_water import shallow_water
 from .vertical_advection import vertical_advection
 
@@ -42,6 +43,7 @@ _BUILDERS: Dict[str, Callable[..., StencilProgram]] = {
     "horizontal_diffusion": horizontal_diffusion,
     "vertical_advection": vertical_advection,
     "shallow_water": shallow_water,
+    "image_pipeline": image_pipeline,
 }
 
 #: Short names accepted anywhere a catalog name is (CLI included).
@@ -49,6 +51,7 @@ ALIASES: Dict[str, str] = {
     "hdiff": "horizontal_diffusion",
     "vadv": "vertical_advection",
     "swe": "shallow_water",
+    "imgpipe": "image_pipeline",
 }
 
 

@@ -1,0 +1,84 @@
+"""An integer image-processing chain: blur → Sobel → threshold.
+
+A classic edge-detection front end on integer pixel lanes: a 3×3
+binomial blur, the two Sobel gradient stencils, a gradient-magnitude
+combine (``|gx| + |gy|``, the usual hardware-friendly L1 norm), and a
+threshold keeping only strong gradients.  Everything is int64
+arithmetic end to end, so the
+program exercises the simulator's native integer slab path — including
+under design-space exploration — with bit-exact NumPy references.
+
+The DAG is a diamond: ``blur`` fans out to ``gx``/``gy``, which
+reconverge in ``mag`` — so the buffering analysis must re-balance the
+two gradient paths, and multi-device cuts put integer words on network
+links.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.program import StencilProgram
+
+#: Default image extent (rows, columns).
+DEFAULT_DOMAIN = (64, 64)
+
+#: Default edge threshold on the L1 gradient magnitude.  Blur output
+#: is 16× the pixel scale and Sobel taps sum to 8×, so for 8-bit-style
+#: pixel values (0..255) magnitudes reach ~65k; 20000 marks strong
+#: edges.
+DEFAULT_THRESHOLD = 20_000
+
+
+def image_pipeline(shape: Tuple[int, int] = DEFAULT_DOMAIN,
+                   vectorization: int = 1,
+                   threshold: int = DEFAULT_THRESHOLD
+                   ) -> StencilProgram:
+    """Build the blur→sobel→threshold chain over int64 pixels.
+
+    All boundaries shrink: the valid interior loses a two-cell rim
+    (one for the blur, one for the gradients).
+    """
+    program = {
+        # 3x3 binomial blur, weights summing to 16 (kept as a plain
+        # integer sum — no division, so the chain stays exact).
+        "blur": {
+            "code": ("4*img[i,j]"
+                     " + 2*(img[i-1,j] + img[i+1,j]"
+                     " + img[i,j-1] + img[i,j+1])"
+                     " + img[i-1,j-1] + img[i-1,j+1]"
+                     " + img[i+1,j-1] + img[i+1,j+1]"),
+            "boundary_condition": "shrink",
+        },
+        # Sobel gradients over the blurred image.
+        "gx": {
+            "code": ("(blur[i+1,j-1] + 2*blur[i+1,j] + blur[i+1,j+1])"
+                     " - (blur[i-1,j-1] + 2*blur[i-1,j]"
+                     " + blur[i-1,j+1])"),
+            "boundary_condition": "shrink",
+        },
+        "gy": {
+            "code": ("(blur[i-1,j+1] + 2*blur[i,j+1] + blur[i+1,j+1])"
+                     " - (blur[i-1,j-1] + 2*blur[i,j-1]"
+                     " + blur[i+1,j-1])"),
+            "boundary_condition": "shrink",
+        },
+        # L1 gradient magnitude and the thresholded edge map (weak
+        # gradients zeroed, strong ones kept — int64 end to end).
+        "mag": {
+            "code": "abs(gx[i,j]) + abs(gy[i,j])",
+            "boundary_condition": "shrink",
+        },
+        "edges": {
+            "code": f"mag[i,j] > {int(threshold)} ? mag[i,j] : 0",
+            "boundary_condition": "shrink",
+        },
+    }
+    return StencilProgram.from_json({
+        "name": "image_pipeline",
+        "inputs": {"img": {"dtype": "int64", "dims": ["i", "j"]}},
+        "outputs": ["edges"],
+        "shape": list(shape),
+        "vectorization": vectorization,
+        "program": program,
+    })

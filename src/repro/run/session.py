@@ -15,8 +15,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from ..analysis.deadlock import certify_analysis
-from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..analysis.delay_buffers import BufferingAnalysis
 from ..codegen import generate_package
 from ..core.program import StencilProgram
 from ..distributed.partition import (
@@ -26,8 +25,8 @@ from ..distributed.partition import (
 )
 from ..errors import ValidationError
 from ..hardware.platform import FPGAPlatform, STRATIX10
+from ..lowering import LoweredProgram, LoweringConfig, lower
 from ..perf.pipeline import PerformanceReport, model_performance
-from ..sdfg.build import build_sdfg
 from ..sdfg.graph import SDFG
 from ..simulator.engine import (
     SimulationResult,
@@ -35,7 +34,6 @@ from ..simulator.engine import (
     SimulatorConfig,
     simulate,
 )
-from ..transforms.canonicalize import canonicalize as canonicalize_program
 from .reference import FieldResult, run_reference
 
 
@@ -65,17 +63,41 @@ class Session:
             :meth:`from_json` / :meth:`from_file`).
         platform: modeled target device.
         canonicalize: apply constant folding + aggressive stencil fusion
-            before mapping (the paper's benchmark setting).
+            before mapping (the paper's benchmark setting); shorthand
+            for a :class:`~repro.lowering.LoweringConfig` with both
+            transform passes enabled.
+        lowering: explicit pipeline configuration (transform knobs);
+            ``canonicalize=True`` overlays the two transform passes on
+            top of it.
+
+    All pipeline stages route through :func:`repro.lowering.lower`, so
+    analyses, SDFGs, and compiled stencils are shared with every other
+    consumer (CLI, explorer, direct ``simulate`` calls) through the
+    process-wide content-addressed artifact cache.
     """
 
     def __init__(self, program: StencilProgram,
                  platform: FPGAPlatform = STRATIX10,
-                 canonicalize: bool = False):
+                 canonicalize: bool = False,
+                 lowering: Optional[LoweringConfig] = None):
+        config = lowering or LoweringConfig()
+        if config.placement is not None or \
+                config.device_of is not None:
+            # The session's artifacts (analysis, SDFG, performance)
+            # would describe a multi-device machine while run() picks
+            # its placement per call — reject rather than let the two
+            # silently diverge.
+            raise ValidationError(
+                "Session lowering config must not carry a placement; "
+                "choose one per execution via run(partition=...) / "
+                "run(device_of=...) or Session.placement()")
         if canonicalize:
-            program = canonicalize_program(program)
-        self.program = program
+            config = replace(config, canonicalize=True, fusion=True)
+        self.lowering_config = config
         self.platform = platform
-        self._analysis: Optional[BufferingAnalysis] = None
+        self._lowered = lower(program, config, platform=platform)
+        self.program = self._lowered.program
+        self._certified = False
         self._explore_cache = None
 
     @classmethod
@@ -88,17 +110,23 @@ class Session:
 
     # -- pipeline stages -----------------------------------------------------
 
+    def lowered(self) -> LoweredProgram:
+        """The session's lowered artifact (single-device mapping)."""
+        return self._lowered
+
     @property
     def analysis(self) -> BufferingAnalysis:
-        """Buffering analysis (computed once, cached)."""
-        if self._analysis is None:
-            self._analysis = analyze_buffers(self.program)
-            certify_analysis(self._analysis)
-        return self._analysis
+        """Buffering analysis (computed once, shared via the artifact
+        cache, and certified deadlock-free on first access)."""
+        analysis = self._lowered.analysis
+        if not self._certified:
+            self._lowered.certificate()
+            self._certified = True
+        return analysis
 
     def sdfg(self) -> SDFG:
         """The program lowered to the data-centric IR."""
-        return build_sdfg(self.program, self.analysis)
+        return self._lowered.sdfg()
 
     def partition(self, max_devices: int = 8) -> Partition:
         """Resource-driven multi-device partition (Sec. III-B)."""

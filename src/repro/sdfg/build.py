@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..analysis.delay_buffers import BufferingAnalysis, analyze_buffers
+from ..analysis.delay_buffers import BufferingAnalysis
 from ..core.program import StencilProgram
 from ..errors import GraphError
 from .graph import SDFG, SDFGState
@@ -43,7 +43,11 @@ def stream_name(edge_src: str, edge_dst: str, data: str) -> str:
 def build_sdfg(program: StencilProgram,
                analysis: Optional[BufferingAnalysis] = None) -> SDFG:
     """Lower an analyzed program to an SDFG with stencil library nodes."""
-    analysis = analysis or analyze_buffers(program)
+    if analysis is None:
+        # Deferred: repro.lowering imports the transforms package,
+        # which pulls in this module through repro.sdfg.
+        from ..lowering import analysis_for
+        analysis = analysis_for(program)
     graph = analysis.graph
     width = program.vectorization
     sdfg = SDFG(program.name)

@@ -45,7 +45,9 @@ from .engine import (
     SimulatorConfig,
     build_simulator,
     make_simulator,
+    parse_link_rate_spec,
     resolve_engine_mode,
+    resolve_link_rates,
     simulate,
 )
 from .trace import Trace, TracingSimulator, simulate_traced
@@ -74,7 +76,9 @@ __all__ = [
     "build_simulator",
     "compile_stencil",
     "make_simulator",
+    "parse_link_rate_spec",
     "resolve_engine_mode",
+    "resolve_link_rates",
     "simulate",
     "simulate_traced",
 ]

@@ -84,7 +84,7 @@ from .channel import (
     _RowRing,
     timely_prefix_length,
 )
-from .compile import compile_stencil
+from ..lowering import compiled_stencil
 from .engine import SimulationResult, Simulator, deadlock_error
 from .units import SinkUnit, SourceUnit, StencilBookkeeping, schedule_reads
 
@@ -291,7 +291,7 @@ class BatchedStencilUnit(StencilBookkeeping):
 
         # The identical schedule the scalar unit derives, via the
         # array-mode compiler (argument order matches by design).
-        self.compiled = compile_stencil(stencil.ast, mode="array")
+        self.compiled = compiled_stencil(stencil.ast, mode="array")
         fields = sorted(self.in_channels)
         (self.access_info, readahead, self.init_words, self.pop_start,
          self.min_flat) = schedule_reads(

@@ -28,7 +28,8 @@ from ..core.fields import flatten_offset, row_major_strides, unflatten_index
 from ..core.program import StencilDefinition, StencilProgram
 from ..errors import SimulationError
 from .channel import RateLimiter
-from .compile import CompiledStencil, compile_stencil
+from ..lowering import compiled_stencil
+from .compile import CompiledStencil
 
 Word = Tuple[float, ...]
 
@@ -216,7 +217,7 @@ class StencilUnit(StencilBookkeeping, Unit):
 
         # Per-access precomputation (full-domain offset vectors, linear
         # offsets) and the per-field read-ahead / fill-start schedule.
-        self.compiled: CompiledStencil = compile_stencil(stencil.ast)
+        self.compiled: CompiledStencil = compiled_stencil(stencil.ast)
         fields = sorted(self.in_channels)
         (self.access_info, _readahead, self.init_words, self.pop_start,
          self.min_flat) = schedule_reads(

@@ -1,6 +1,17 @@
-"""Pytest configuration: make test helpers importable."""
+"""Pytest configuration: make test helpers importable and isolate the
+persistent cross-process caches per test."""
 
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_repro_cache(tmp_path, monkeypatch):
+    """Point REPRO_CACHE_DIR at a fresh directory for every test, so
+    the explore result cache's default persistence cannot leak state
+    between tests (or into the developer's real cache)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

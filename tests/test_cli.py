@@ -153,3 +153,106 @@ class TestExploreCommand:
                      "--widths", "1,2", "--output",
                      str(report_path)]) == 0
         assert json.loads(report_path.read_text())["program"] == "lst1"
+
+
+class TestLinkRateOverrides:
+    def test_run_with_per_link_rate(self, program_file, capsys):
+        assert main(["run", str(program_file), "--devices", "2",
+                     "--network-latency", "16",
+                     "--network-link-rate", "b2:b4=1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "link-rate overrides: b2->b4:b2=0.5" in out
+        assert "validated against reference: True" in out
+
+    def test_run_link_rate_slows_the_named_edge(self, program_file,
+                                                capsys):
+        argv = ["run", str(program_file), "--devices", "2",
+                "--network-latency", "16"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--network-link-rate",
+                            "b2:b4=0.25"]) == 0
+        throttled = capsys.readouterr().out
+
+        def cycles(text):
+            for line in text.splitlines():
+                if line.startswith("simulated "):
+                    return int(line.split()[1])
+            raise AssertionError(text)
+
+        assert cycles(throttled) > cycles(plain)
+
+    def test_run_rejects_bad_link_rate_spec(self, program_file):
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError, match="link-rate"):
+            main(["run", str(program_file), "--devices", "2",
+                  "--network-link-rate", "b2=0.5"])
+        with pytest.raises(ValidationError, match="matches no edge"):
+            main(["run", str(program_file), "--devices", "2",
+                  "--network-link-rate", "nope:b4=0.5"])
+
+
+class TestExploreAxes:
+    def test_explore_transform_axes(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["explore", "--program", "hdiff",
+                     "--shape", "16,16,8", "--widths", "1",
+                     "--strategy", "exhaustive",
+                     "--fusion", "both", "--canonicalize", "on",
+                     "--output", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "lowering:" in out
+        report = json.loads(report_path.read_text())
+        assert report["space"]["fusions"] == [False, True]
+        assert report["space"]["canonicalizations"] == [True]
+        fused = [e for e in report["entries"]
+                 if e["point"]["fusion"] and e["simulated"]]
+        assert fused
+
+    def test_explore_link_rate_set_axis(self, program_file, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["explore", "--program", str(program_file),
+                     "--widths", "1", "--strategy", "exhaustive",
+                     "--link-rate-set", "b2:b4=1/2",
+                     "--output", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert [["b2:b4", 0.5]] in report["space"]["link_rate_sets"]
+
+    def test_explore_persists_by_default_and_opt_out(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.explore import ResultCache
+        argv = ["explore", "--program", "laplace2d", "--shape",
+                "12,12", "--widths", "1,2", "--output",
+                str(tmp_path / "r.json")]
+        assert main(argv) == 0
+        assert ResultCache.default_path().exists()
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hits" in out
+        report = json.loads((tmp_path / "r.json").read_text())
+        assert report["cache_hits"] >= 1
+        ResultCache.default_path().unlink()
+        assert main(argv + ["--no-cache-persist"]) == 0
+        assert not ResultCache.default_path().exists()
+
+    def test_run_rejects_nonfinite_link_rate(self, program_file):
+        from repro.errors import ValidationError
+        for bad in ("nan", "inf", "1/0"):
+            with pytest.raises(ValidationError, match="link rate"):
+                main(["run", str(program_file), "--devices", "2",
+                      "--network-link-rate", f"b2:b4={bad}"])
+
+    def test_explicit_cache_wins_over_persist_opt_out(self, tmp_path):
+        cache_path = tmp_path / "mine.json"
+        argv = ["explore", "--program", "laplace2d", "--shape",
+                "12,12", "--widths", "1", "--cache", str(cache_path),
+                "--no-cache-persist", "--output",
+                str(tmp_path / "r.json")]
+        assert main(argv) == 0
+        assert cache_path.exists()
+        report = json.loads((tmp_path / "r.json").read_text())
+        assert report["cache_hits"] == 0
+        assert main(argv) == 0
+        report = json.loads((tmp_path / "r.json").read_text())
+        assert report["cache_hits"] > 0

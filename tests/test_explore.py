@@ -281,3 +281,254 @@ class TestExplorer:
         assert first.cache_hits == 0
         assert second.cache_hits > 0
         assert second.ranking_signature() == first.ranking_signature()
+
+
+class TestTransformAxes:
+    """Fusion/canonicalize as first-class ConfigSpace axes."""
+
+    def test_point_transform_flags_round_trip(self):
+        point = ConfigPoint(vectorization=2, canonicalize=True,
+                            fusion=True,
+                            link_rates=(("s0:s1", 0.5),))
+        assert ConfigPoint.from_json(point.to_json()) == point
+        assert "cz" in point.label() and "fu" in point.label()
+
+    def test_space_transform_axes_enumerate(self):
+        space = ConfigSpace(vectorizations=(1,),
+                            canonicalizations=(False, True),
+                            fusions=(False, True))
+        assert space.size == 4
+        flags = {(p.canonicalize, p.fusion) for p in space.points()}
+        assert len(flags) == 4
+
+    def test_fusion_axis_changes_the_simulated_machine(self):
+        from repro.programs import horizontal_diffusion
+        program = horizontal_diffusion(shape=(16, 16, 8))
+        space = ConfigSpace(vectorizations=(1,),
+                            fusions=(False, True))
+        report = explore(program, space=space, strategy="exhaustive")
+        fused = [e for e in report.entries
+                 if e.simulated and e.point.fusion]
+        plain = [e for e in report.entries
+                 if e.simulated and not e.point.fusion]
+        assert fused and plain
+        # Fusion rebuilds the machine: a genuinely different design
+        # with its own measured cycle count, not a cache alias.
+        assert fused[0].simulated_cycles != plain[0].simulated_cycles
+        assert not fused[0].cache_hit
+
+    def test_noop_transform_axis_does_not_duplicate_work(self):
+        # laplace2d has nothing to fold: the canonicalize axis doubles
+        # the point count but must not double analyses or simulations.
+        from repro.lowering import reset_default_cache
+        reset_default_cache()
+        program = laplace2d(shape=(16, 16))
+        space = ConfigSpace(vectorizations=(1, 2),
+                            canonicalizations=(False, True))
+        cache = ResultCache()
+        report = explore(program, space=space, strategy="exhaustive",
+                         cache=cache, persist=False)
+        simulated = [e for e in report.entries if e.simulated]
+        assert len(simulated) == 4
+        # Two distinct machines (W=1, W=2): the canonicalized twins
+        # collapse onto their plain siblings before any simulation —
+        # only two measurements exist, and only two programs (the two
+        # widths) were ever analyzed.
+        assert len(cache) == 2
+        assert report.relowered_programs == 2
+
+    def test_repeated_sweep_relowers_nothing(self):
+        # The acceptance criterion: a repeated identical sweep reports
+        # zero re-lowered programs and all-hit measurements.
+        from repro.lowering import reset_default_cache
+        reset_default_cache()
+        program = small_chain()
+        space = ConfigSpace(vectorizations=(1, 2),
+                            fusions=(False, True))
+        cache = ResultCache()
+        first = explore(program, space=space, cache=cache,
+                        persist=False)
+        assert first.relowered_programs > 0
+        second = explore(program, space=space, cache=cache,
+                         persist=False)
+        assert second.relowered_programs == 0
+        assert second.lowering_cache_hits > 0
+        assert all(e.cache_hit for e in second.entries if e.simulated)
+        assert second.ranking_signature() == first.ranking_signature()
+
+
+class TestLinkRateAxis:
+    def test_link_rate_override_slows_only_named_edge(self):
+        program = small_chain()
+        space = ConfigSpace(vectorizations=(1,), device_counts=(2,),
+                            network_latencies=(16,),
+                            link_rate_sets=((), (("s1:s2", 0.5),)))
+        report = explore(program, space=space, strategy="exhaustive")
+        plain = [e for e in report.entries
+                 if e.simulated and not e.point.link_rates]
+        throttled = [e for e in report.entries
+                     if e.simulated and e.point.link_rates]
+        assert plain and throttled
+        assert throttled[0].simulated_cycles > plain[0].simulated_cycles
+
+    def test_unmatched_override_is_pruned_with_reason(self):
+        pruner = Pruner(small_chain())
+        verdict = pruner.predict(ConfigPoint(
+            devices=2, link_rates=(("nope:s1", 0.5),)))
+        assert not verdict.feasible
+        assert "matches no edge" in verdict.reason
+
+
+class TestPersistentResultCache:
+    def test_sweep_persists_and_reloads_across_cache_instances(self):
+        # Two explore calls with no shared ResultCache object: the
+        # second must hit through the on-disk default path (pointed at
+        # a per-test directory by the conftest fixture).
+        program = laplace2d(shape=(16, 16))
+        space = ConfigSpace(vectorizations=(1, 2))
+        first = explore(program, space=space, strategy="exhaustive")
+        assert first.cache_hits == 0
+        assert ResultCache.default_path().exists()
+        second = explore(program, space=space, strategy="exhaustive")
+        assert second.cache_hits == second.simulated_points > 0
+        assert second.ranking_signature() == first.ranking_signature()
+
+    def test_opt_out_leaves_disk_untouched(self):
+        program = laplace2d(shape=(16, 16))
+        space = ConfigSpace(vectorizations=(1,))
+        explore(program, space=space, strategy="exhaustive",
+                persist=False)
+        assert not ResultCache.default_path().exists()
+
+    def test_merge_prefers_existing_entries(self):
+        from repro.explore import Measurement
+        a = ResultCache()
+        b = ResultCache()
+        mine = Measurement(1, 1, 0.1, "batched")
+        theirs = Measurement(2, 2, 0.2, "scalar")
+        a.put("f", ("k",), mine)
+        b.put("f", ("k",), theirs)
+        b.put("f", ("other",), theirs)
+        assert a.merge(b) == 1
+        assert a.get("f", ("k",)) == mine
+        assert len(a) == 2
+
+    def test_persisted_entries_are_engine_specific(self):
+        # A sweep persisted under one engine must not serve its
+        # measurements (whose engine/wall-time metadata differ) to a
+        # sweep under another engine.
+        program = laplace2d(shape=(12, 12))
+        space = ConfigSpace(vectorizations=(1,))
+        explore(program, space=space, strategy="exhaustive",
+                engine_mode="scalar")
+        report = explore(program, space=space, strategy="exhaustive",
+                         engine_mode="batched")
+        assert report.cache_hits == 0
+        simulated = [e for e in report.entries if e.simulated]
+        assert simulated and all(e.engine == "batched"
+                                 for e in simulated)
+
+    def test_corrupt_persistent_cache_is_ignored(self, tmp_path):
+        path = ResultCache.default_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"key": null}')
+        cache = ResultCache()
+        assert cache.load_persistent() == 0
+        program = laplace2d(shape=(12, 12))
+        report = explore(program,
+                         space=ConfigSpace(vectorizations=(1,)),
+                         strategy="exhaustive")
+        assert report.simulated_points > 0
+
+
+class TestLinkRateModel:
+    def test_raising_override_unthrottles_the_prediction(self):
+        # An override *above* the global rate un-throttles its edge;
+        # with every cut edge overridden to full speed, the model must
+        # not apply the global fractional stretch.
+        pruner = Pruner(small_chain())
+        throttled = pruner.predict(ConfigPoint(
+            devices=2, network_words_per_cycle=0.5,
+            network_latency=16))
+        unthrottled = pruner.predict(ConfigPoint(
+            devices=2, network_words_per_cycle=0.5,
+            network_latency=16, link_rates=(("s1:s2", 1.0),)))
+        full_speed = pruner.predict(ConfigPoint(
+            devices=2, network_latency=16))
+        assert throttled.feasible and unthrottled.feasible
+        assert throttled.predicted_cycles > \
+            unthrottled.predicted_cycles
+        assert unthrottled.predicted_cycles == \
+            full_speed.predicted_cycles
+
+    def test_model_matches_simulation_with_mixed_rates(self):
+        space = ConfigSpace(vectorizations=(1,), device_counts=(2,),
+                            network_rates=(0.5,),
+                            network_latencies=(16,),
+                            link_rate_sets=((), (("s1:s2", 1.0),)))
+        report = explore(small_chain(), space=space,
+                         strategy="exhaustive", persist=False)
+        measured = [e for e in report.entries
+                    if e.simulated and e.devices_used == 2]
+        assert len(measured) == 2
+        for entry in measured:
+            assert abs(entry.model_error) <= 0.25, entry.point.label()
+
+    def test_input_edge_override_prices_like_the_simulator(self):
+        # An input consumed on two devices yields a remote
+        # input→stencil link the simulator rate-limits; the model must
+        # see an override on it (Eq.1 min over *remote* edges, not
+        # just stencil-stencil cut edges).
+        from repro.core import StencilProgram
+        program = StencilProgram.from_json({
+            "name": "shared_input",
+            "inputs": {"a": {"dtype": "float32", "dims": ["i"]}},
+            "outputs": ["s0", "s1"],
+            "shape": [64],
+            "program": {
+                "s0": {"code": "a[i] + 1.0",
+                       "boundary_condition": "shrink"},
+                "s1": {"code": "a[i] * 2.0",
+                       "boundary_condition": "shrink"},
+            },
+        })
+        space = ConfigSpace(vectorizations=(1,),
+                            network_latencies=(8,),
+                            link_rate_sets=((("a:s1", 0.25),),))
+        report = explore(program, space=space, strategy="exhaustive",
+                         inputs={"a": np.ones(64, dtype=np.float32)},
+                         persist=False)
+        # Explicit 2-device split: one stencil per device.
+        pruner = Pruner(program)
+        point = ConfigPoint(devices=2, network_latency=8,
+                            link_rates=(("a:s1", 0.25),))
+        verdict = pruner.predict(point)
+        assert verdict.feasible
+        from repro.simulator import SimulatorConfig, simulate
+        from repro.simulator.engine import resolve_link_rates
+        config = SimulatorConfig(
+            network_latency=8,
+            network_link_rates=resolve_link_rates(
+                program, point.link_rates))
+        result = simulate(program,
+                          {"a": np.ones(64, dtype=np.float32)},
+                          config, device_of=verdict.device_of)
+        error = result.cycles / verdict.predicted_cycles - 1.0
+        assert abs(error) <= 0.25, (result.cycles,
+                                    verdict.predicted_cycles)
+
+    def test_inactive_override_shares_the_machine(self):
+        # An override on an edge that stays local (single device) must
+        # not split the simulation key: both points are one machine.
+        program = laplace2d(shape=(16, 16))
+        space = ConfigSpace(
+            vectorizations=(1,),
+            link_rate_sets=((), (("a:b", 0.5),)))
+        cache = ResultCache()
+        report = explore(program, space=space, strategy="exhaustive",
+                         cache=cache, persist=False)
+        simulated = [e for e in report.entries if e.simulated]
+        assert len(simulated) == 2
+        assert len(cache) == 1
+        cycles = {e.simulated_cycles for e in simulated}
+        assert len(cycles) == 1

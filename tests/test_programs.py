@@ -278,3 +278,90 @@ class TestShallowWater:
         program = shallow_water(shape=(12, 12))
         from repro.run import Session
         assert Session(program).run(self._inputs()).validated
+
+
+class TestImagePipeline:
+    """The integer blur→sobel→threshold chain (int64 end to end)."""
+
+    def _image(self, shape=(16, 16), seed=3):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, shape).astype(np.int64)
+
+    def _numpy_pipeline(self, img, threshold=20_000):
+        """Bit-exact NumPy rendition of the catalog program."""
+        blur = (4 * img[1:-1, 1:-1]
+                + 2 * (img[:-2, 1:-1] + img[2:, 1:-1]
+                       + img[1:-1, :-2] + img[1:-1, 2:])
+                + img[:-2, :-2] + img[:-2, 2:]
+                + img[2:, :-2] + img[2:, 2:])
+        gx = ((blur[2:, :-2] + 2 * blur[2:, 1:-1] + blur[2:, 2:])
+              - (blur[:-2, :-2] + 2 * blur[:-2, 1:-1]
+                 + blur[:-2, 2:]))
+        gy = ((blur[:-2, 2:] + 2 * blur[1:-1, 2:] + blur[2:, 2:])
+              - (blur[:-2, :-2] + 2 * blur[1:-1, :-2]
+                 + blur[2:, :-2]))
+        mag = np.abs(gx) + np.abs(gy)
+        return np.where(mag > threshold, mag, 0)
+
+    def test_structure_and_dtypes(self):
+        from repro.programs.image_pipeline import image_pipeline
+        program = image_pipeline(shape=(16, 16))
+        assert program.outputs == ("edges",)
+        assert [s.name for s in program.stencils] == \
+            ["blur", "gx", "gy", "mag", "edges"]
+        for field in ("blur", "gx", "gy", "mag", "edges"):
+            assert program.field_dtype(field).name == "int64", field
+
+    def test_catalog_registration(self):
+        assert resolve_name("imgpipe") == "image_pipeline"
+        program = build("imgpipe", shape=(12, 12))
+        assert program.name == "image_pipeline"
+
+    def test_reference_matches_numpy_exactly(self):
+        from repro.programs.image_pipeline import image_pipeline
+        img = self._image()
+        program = image_pipeline(shape=img.shape)
+        result = run_reference(program, {"img": img})["edges"]
+        # Two shrink-by-one stages: the valid rim is 2 cells.
+        assert result.valid == ((2, 14), (2, 14))
+        np.testing.assert_array_equal(result.valid_view,
+                                      self._numpy_pipeline(img))
+
+    def test_session_equivalence_bit_exact(self):
+        from repro.programs.image_pipeline import image_pipeline
+        from repro.run import Session
+        img = self._image()
+        program = image_pipeline(shape=img.shape)
+        result = Session(program).run({"img": img}, rtol=0.0, atol=0.0)
+        assert result.validated
+
+    def test_huge_values_stay_exact_through_int64_slabs(self):
+        # Pixel values beyond 2**53 cannot survive a float64 detour;
+        # equality here proves the native int64 slab path end to end.
+        from repro.programs.image_pipeline import image_pipeline
+        from repro.run import Session
+        img = self._image() + (1 << 54)
+        program = image_pipeline(shape=img.shape,
+                                 threshold=1 << 60)
+        result = Session(program).run({"img": img}, rtol=0.0,
+                                      atol=0.0)
+        assert result.validated
+        np.testing.assert_array_equal(
+            result.outputs["edges"][2:-2, 2:-2],
+            self._numpy_pipeline(img, threshold=1 << 60))
+
+    def test_exploration_exercises_int64_slabs(self):
+        # The explorer's frontier must validate the integer chain on
+        # the batched engine (the int64 slab path under exploration).
+        from repro.explore import ConfigSpace, explore
+        from repro.programs.image_pipeline import image_pipeline
+        program = image_pipeline(shape=(12, 12))
+        space = ConfigSpace(vectorizations=(1, 2),
+                            device_counts=(1, 2),
+                            network_latencies=(8,))
+        report = explore(program, space=space, strategy="exhaustive",
+                         inputs={"img": self._image((12, 12))})
+        simulated = [e for e in report.entries if e.simulated]
+        assert simulated
+        assert all(e.engine == "batched" for e in simulated)
+        assert any(e.devices_used == 2 for e in simulated)
