@@ -24,6 +24,7 @@ from pathlib import Path
 
 from .codegen import generate_package
 from .core import StencilProgram
+from .errors import DeadlockError, ParseError, ReproError
 from .graph import StencilGraph
 from .lowering import lower
 from .perf import (
@@ -98,6 +99,28 @@ def build_parser() -> argparse.ArgumentParser:
                                       "(repeatable), e.g. b1:b3=1/2; "
                                       "wins over --network-words-per-"
                                       "cycle on the named edge")
+            command.add_argument("--deadlock-window", type=int,
+                                 default=256, metavar="CYCLES",
+                                 help="consecutive zero-progress "
+                                      "cycles before a deadlock is "
+                                      "declared")
+            command.add_argument("--link-fault", action="append",
+                                 default=None, dest="link_faults",
+                                 metavar="SRC:DST[:FIELD]@START:END"
+                                         "[*SCALE]",
+                                 help="inject one link fault window "
+                                      "(repeatable): an outage over "
+                                      "[START, END), or a degradation "
+                                      "to SCALE times the link rate "
+                                      "(e.g. b1:b3@100:200*0.5); only "
+                                      "inter-device links can fault")
+            command.add_argument("--unit-stall", action="append",
+                                 default=None, dest="unit_stalls",
+                                 metavar="UNIT@START:END",
+                                 help="inject one transient unit-"
+                                      "stall window (repeatable): the "
+                                      "named unit skips every cycle "
+                                      "in [START, END)")
 
     explore = sub.add_parser(
         "explore",
@@ -165,6 +188,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "persistent result cache (the sweep "
                               "still caches in-process; an explicit "
                               "--cache file is always honoured)")
+    explore.add_argument("--deadlock-window", type=int, default=None,
+                         metavar="CYCLES",
+                         help="per-point deadlock-detection window "
+                              "(default: the simulator's 256)")
+    explore.add_argument("--point-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-point wall budget; a point that "
+                              "blows it is recorded as failed "
+                              "instead of hanging the sweep")
+    explore.add_argument("--checkpoint-every", type=int, default=16,
+                         metavar="N",
+                         help="write the persistent result cache "
+                              "every N completed points, so a killed "
+                              "sweep resumes from partial results")
 
     sub.add_parser("list-programs",
                    help="list the bundled program catalog")
@@ -208,23 +245,41 @@ def _load_program(spec: str) -> StencilProgram:
     """
     path = Path(spec)
     if path.is_file() or spec.endswith(".json") or "/" in spec:
-        return StencilProgram.from_json_file(path)
+        try:
+            return StencilProgram.from_json_file(path)
+        except ReproError:
+            raise
+        except Exception as exc:
+            # Missing file, malformed JSON, ...: normalize onto the
+            # library hierarchy so the CLI's exit-2 diagnostic path
+            # handles it like any other user error.
+            raise ParseError(f"could not read program {spec!r}: {exc}")
     return build(spec)
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list-programs":
-        return _list_programs(args)
-    program = _load_program(args.program)
-    handler = {
-        "info": _info,
-        "analyze": _analyze,
-        "codegen": _codegen,
-        "run": _run,
-        "explore": _explore,
-    }[args.command]
-    return handler(program, args)
+    try:
+        if args.command == "list-programs":
+            return _list_programs(args)
+        program = _load_program(args.program)
+        handler = {
+            "info": _info,
+            "analyze": _analyze,
+            "codegen": _codegen,
+            "run": _run,
+            "explore": _explore,
+        }[args.command]
+        return handler(program, args)
+    except DeadlockError as exc:
+        # One-paragraph forensics instead of a traceback: the wedge
+        # is a property of the simulated design, not a CLI crash.
+        print(exc.report.explain() if exc.report is not None
+              else f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _info(program: StencilProgram, args) -> int:
@@ -293,11 +348,25 @@ def _run(program: StencilProgram, args) -> int:
     if args.network_link_rates:
         link_rates = resolve_link_rates(program,
                                         args.network_link_rates)
+    fault_plan = None
+    if args.link_faults or args.unit_stalls:
+        from .faults import (
+            FaultPlan,
+            parse_link_fault_spec,
+            parse_unit_stall_spec,
+        )
+        fault_plan = FaultPlan(
+            link_faults=tuple(parse_link_fault_spec(spec)
+                              for spec in args.link_faults or ()),
+            unit_stalls=tuple(parse_unit_stall_spec(spec)
+                              for spec in args.unit_stalls or ()))
     config = SimulatorConfig(
         engine_mode=args.engine,
         network_words_per_cycle=args.network_words_per_cycle,
         network_latency=args.network_latency,
-        network_link_rates=link_rates)
+        network_link_rates=link_rates,
+        deadlock_window=args.deadlock_window,
+        fault_plan=fault_plan)
 
     session = Session(program)
     device_of = None
@@ -325,6 +394,10 @@ def _run(program: StencilProgram, args) -> int:
     print(f"simulated {sim.cycles} cycles "
           f"(Eq. 1 model: {sim.expected_cycles}, "
           f"ratio {sim.model_accuracy:.3f})")
+    if sim.fault_report is not None and sim.fault_report.any_faults:
+        print("injected faults:")
+        for line in sim.fault_report.summary_lines():
+            print(f"  {line}")
     print(f"continuous output: {all(sim.output_continuous.values())}")
     print(f"validated against reference: {result.validated}")
     return 0 if result.validated else 1
@@ -368,7 +441,10 @@ def _explore(program: StencilProgram, args) -> int:
                      workers=args.workers,
                      persist=(args.cache is not None
                               or not args.no_cache_persist),
-                     cache_path=args.cache)
+                     cache_path=args.cache,
+                     deadlock_window=args.deadlock_window,
+                     point_timeout=args.point_timeout,
+                     checkpoint_every=args.checkpoint_every)
     print("\n".join(report.summary_lines()))
     report.save(args.output)
     print(f"wrote {args.output} ({report.total_points} points, "

@@ -41,12 +41,19 @@ class AnalysisError(StencilFlowError):
 
 
 class DeadlockError(StencilFlowError):
-    """A simulated dataflow architecture deadlocked."""
+    """A simulated dataflow architecture deadlocked.
+
+    ``report`` carries the structured forensics
+    (:class:`~repro.faults.forensics.DeadlockReport`): blocked-unit
+    frontier, channel occupancies, the wait-for cycle, and the fault
+    window that induced the wedge (if any).
+    """
 
     def __init__(self, message: str, cycle: int = -1,
-                 blocked_units: tuple = ()):
+                 blocked_units: tuple = (), report=None):
         self.cycle = cycle
         self.blocked_units = tuple(blocked_units)
+        self.report = report
         super().__init__(message)
 
 
@@ -68,3 +75,8 @@ class SimulationError(StencilFlowError):
 
 class ValidationError(StencilFlowError):
     """Functional validation between backends failed."""
+
+
+#: Public catch-all alias: user code (and the CLI's exit-code-2
+#: handler) can catch every library error under one friendly name.
+ReproError = StencilFlowError

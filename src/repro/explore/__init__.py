@@ -14,7 +14,7 @@ a ranked Pareto report::
 from .cache import Measurement, ResultCache, program_fingerprint
 from .explorer import baseline_point, default_inputs, explore
 from .prune import Prediction, Pruner
-from .report import ExplorationEntry, ExplorationReport
+from .report import ExplorationEntry, ExplorationReport, PointFailure
 from .search import (
     ExhaustiveSearch,
     GreedySearch,
@@ -32,6 +32,7 @@ __all__ = [
     "ExplorationReport",
     "GreedySearch",
     "Measurement",
+    "PointFailure",
     "Prediction",
     "Pruner",
     "ResultCache",

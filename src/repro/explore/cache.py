@@ -190,9 +190,11 @@ class ResultCache:
     def load_persistent(self, path=None, quiet: bool = False) -> int:
         """Merge the on-disk cache into this one (0 when absent/bad).
 
-        A missing, unreadable, or structurally drifted file is treated
-        as empty — persistence is on by default, so a corrupt cache
-        must never take ``explore`` down.
+        A missing file is treated as empty.  A truncated, garbage, or
+        schema-drifted file is *quarantined* (renamed aside with a
+        warning) and treated as empty — persistence is on by default,
+        so a corrupt cache must never take ``explore`` down, and the
+        end-of-sweep save rebuilds a clean file.
         """
         path = Path(path) if path is not None else self.default_path()
         try:
@@ -200,13 +202,10 @@ class ResultCache:
         except FileNotFoundError:
             return 0
         except Exception as exc:
-            # The file exists but does not parse: warn, because the
-            # end-of-sweep save will replace it.
-            if not quiet:
-                import sys
-                print(f"warning: ignoring unreadable result cache "
-                      f"{path} ({exc!r}); it will be rewritten",
-                      file=sys.stderr)
+            from ..faults.store import quarantine_file
+            quarantine_file(path,
+                            reason=f"unreadable result cache: {exc!r}",
+                            warn=not quiet)
             return 0
         return self.merge(on_disk)
 
@@ -214,42 +213,51 @@ class ResultCache:
         """Merge-and-write this cache to disk; False when unwritable.
 
         Re-reads the file first and replaces it atomically, so a
-        reader never sees a torn file.  The merge is best-effort, not
-        locked: two sweeps finishing at the same instant can race, and
-        the later writer's view wins (the loser's new entries are
-        simply re-measured next time).  The *shared default* file is
-        capped at :data:`MAX_PERSISTED_ENTRIES` — this process's
-        entries first, the rest filled deterministically by key order;
-        an explicitly named file is never capped (the caller owns its
-        growth).
+        reader never sees a torn file.  The read-merge-write cycle is
+        serialized against other processes with an advisory
+        :class:`~repro.faults.store.FileLock` on a sidecar lockfile;
+        when locking is unavailable the save degrades to the old
+        best-effort race (the later writer's view wins, the loser's
+        new entries are simply re-measured next time).  The *shared
+        default* file is capped at :data:`MAX_PERSISTED_ENTRIES` —
+        this process's entries first, the rest filled
+        deterministically by key order; an explicitly named file is
+        never capped (the caller owns its growth).
         """
+        from ..faults.store import FileLock
         capped = path is None
         path = Path(path) if path is not None else self.default_path()
         with self._lock:
             merged = dict(self._entries)
             fresh = set(self._fresh)
-        on_disk = ResultCache()
-        # The sweep already merged (and possibly warned about) this
-        # file at load time; this re-read only serves the
-        # concurrent-writer merge, so keep it quiet.
-        on_disk.load_persistent(path, quiet=True)
-        for key, entry in on_disk._entries.items():
-            merged.setdefault(key, entry)
-        if capped and len(merged) > MAX_PERSISTED_ENTRIES:
-            # This process's own measurements survive first; stale
-            # disk entries fill the remainder deterministically.
-            trimmed = {key: merged[key]
-                       for key in sorted(fresh)[:MAX_PERSISTED_ENTRIES]
-                       if key in merged}
-            for key in sorted(merged):
-                if len(trimmed) >= MAX_PERSISTED_ENTRIES:
-                    break
-                trimmed.setdefault(key, merged[key])
-            merged = trimmed
-        snapshot = ResultCache()
-        snapshot._entries = merged
         try:
-            snapshot.save(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
         except OSError:
             return False
+        with FileLock(path.with_name(path.name + ".lock")):
+            on_disk = ResultCache()
+            # The sweep already merged (and possibly warned about)
+            # this file at load time; this re-read only serves the
+            # concurrent-writer merge, so keep it quiet.
+            on_disk.load_persistent(path, quiet=True)
+            for key, entry in on_disk._entries.items():
+                merged.setdefault(key, entry)
+            if capped and len(merged) > MAX_PERSISTED_ENTRIES:
+                # This process's own measurements survive first; stale
+                # disk entries fill the remainder deterministically.
+                trimmed = {key: merged[key]
+                           for key in
+                           sorted(fresh)[:MAX_PERSISTED_ENTRIES]
+                           if key in merged}
+                for key in sorted(merged):
+                    if len(trimmed) >= MAX_PERSISTED_ENTRIES:
+                        break
+                    trimmed.setdefault(key, merged[key])
+                merged = trimmed
+            snapshot = ResultCache()
+            snapshot._entries = merged
+            try:
+                snapshot.save(path)
+            except OSError:
+                return False
         return True

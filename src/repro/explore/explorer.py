@@ -13,11 +13,13 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.program import StencilProgram
+from ..errors import DeadlockError, StencilFlowError
 from ..hardware.platform import FPGAPlatform, STRATIX10
 from ..lowering import default_cache as lowering_cache
 from ..simulator.engine import (
@@ -27,7 +29,11 @@ from ..simulator.engine import (
 )
 from .cache import Measurement, ResultCache
 from .prune import Prediction, Pruner
-from .report import ExplorationEntry, ExplorationReport
+from .report import (
+    ExplorationEntry,
+    ExplorationReport,
+    PointFailure,
+)
 from .search import GreedySearch, SearchStrategy, get_strategy
 from .space import ConfigPoint, ConfigSpace
 
@@ -65,7 +71,12 @@ def explore(program: StencilProgram,
             engine_mode: str = "auto",
             inputs: Optional[Mapping[str, np.ndarray]] = None,
             persist: bool = True,
-            cache_path=None) -> ExplorationReport:
+            cache_path=None,
+            deadlock_window: Optional[int] = None,
+            point_timeout: Optional[float] = None,
+            retries: int = 1,
+            retry_backoff: float = 0.25,
+            checkpoint_every: int = 16) -> ExplorationReport:
     """Sweep ``program``'s design space and rank what survives.
 
     Args:
@@ -94,6 +105,20 @@ def explore(program: StencilProgram,
         cache_path: where the persistent cache lives (defaults to
             ``ResultCache.default_path()``; override the directory
             with ``REPRO_CACHE_DIR``).
+        deadlock_window: per-point override of
+            :attr:`SimulatorConfig.deadlock_window` (``None`` keeps
+            the simulator default).
+        point_timeout: per-point wall budget in seconds; a point that
+            blows it is recorded as a failed entry instead of hanging
+            the sweep (``None`` disables the budget).
+        retries: extra attempts for *non-deterministic* per-point
+            failures (a crashed worker); deadlocks and model errors
+            are deterministic and never retried.
+        retry_backoff: base of the exponential backoff between
+            retries, in seconds.
+        checkpoint_every: with ``persist``, write the result cache to
+            disk every this many completed points, so a killed sweep
+            resumes from its partial results on the next run.
     """
     start = time.perf_counter()
     space = space or ConfigSpace.default_for(program, platform)
@@ -131,13 +156,21 @@ def explore(program: StencilProgram,
     # (family-hash, machine) cache key.
     if inputs is None:
         inputs = default_inputs(program, seed)
-    measurements = _simulate_frontier(
+    checkpoint = (lambda: cache.save_persistent(cache_path)) \
+        if persist else None
+    measurements, failures = _simulate_frontier(
         pruner, [by_point[p] for p in selected], inputs,
-        engine_mode, cache, workers)
+        engine_mode, cache, workers,
+        deadlock_window=deadlock_window,
+        point_timeout=point_timeout,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        checkpoint_every=checkpoint_every,
+        checkpoint=checkpoint)
 
     # Stage 4: assemble, rank, and mark the Pareto frontier.
     lowering_hits1, relowered1 = artifacts.stats("analysis")
-    entries = _build_entries(predictions, measurements, base)
+    entries = _build_entries(predictions, measurements, failures, base)
     report = ExplorationReport(
         program=program.name,
         shape=tuple(program.shape),
@@ -165,16 +198,34 @@ def _machine_key(prediction: Prediction) -> Tuple:
     return (prediction.family_hash, prediction.simulation_key)
 
 
+class _PointFailed(Exception):
+    """Internal carrier: one frontier point failed terminally."""
+
+    def __init__(self, failure: PointFailure):
+        self.failure = failure
+        super().__init__(failure.message)
+
+
 def _simulate_frontier(pruner: Pruner,
                        predictions: Sequence[Prediction],
                        inputs: Mapping[str, np.ndarray],
                        engine_mode: str,
                        cache: ResultCache,
-                       workers: Optional[int]
-                       ) -> Dict[Tuple, Tuple[Measurement, bool]]:
+                       workers: Optional[int],
+                       deadlock_window: Optional[int] = None,
+                       point_timeout: Optional[float] = None,
+                       retries: int = 1,
+                       retry_backoff: float = 0.25,
+                       checkpoint_every: int = 16,
+                       checkpoint=None
+                       ) -> Tuple[Dict[Tuple, Tuple[Measurement, bool]],
+                                  Dict[Tuple, PointFailure]]:
     """Measure every distinct machine among ``predictions``.
 
-    Returns ``machine_key -> (measurement, cache_hit)``.  Duplicate
+    Returns ``(outcomes, failures)``, both keyed by machine key:
+    ``outcomes`` maps to ``(measurement, cache_hit)``; ``failures``
+    records points that produced no measurement (deadlock, timeout,
+    exhausted retries) — the sweep always completes.  Duplicate
     machines (points whose placements coincide, or whose transforms
     lower to the same program) are simulated once.
     """
@@ -190,7 +241,8 @@ def _simulate_frontier(pruner: Pruner,
     resolved_engine = resolve_engine_mode(
         SimulatorConfig(engine_mode=engine_mode))
 
-    def measure(prediction: Prediction) -> Tuple[Measurement, bool]:
+    def measure_once(prediction: Prediction
+                     ) -> Tuple[Measurement, bool]:
         key = (resolved_engine,) + prediction.simulation_key
         cached = cache.get(prediction.family_hash, key)
         if cached is not None:
@@ -203,7 +255,9 @@ def _simulate_frontier(pruner: Pruner,
             network_latency=point.network_latency,
             min_channel_depth=point.min_channel_depth,
             network_link_rates=dict(prediction.link_rates_resolved)
-            if prediction.link_rates_resolved else None)
+            if prediction.link_rates_resolved else None,
+            **({"deadlock_window": deadlock_window}
+               if deadlock_window is not None else {}))
         began = time.perf_counter()
         result = simulate(prog_w, inputs, config,
                           device_of=prediction.device_of)
@@ -217,20 +271,90 @@ def _simulate_frontier(pruner: Pruner,
         cache.put(prediction.family_hash, key, measurement)
         return measurement, False
 
+    def measure(prediction: Prediction) -> Tuple[Measurement, bool]:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return measure_once(prediction)
+            except DeadlockError as exc:
+                # Deterministic: the machine wedges every time.  Keep
+                # the forensics so the report can explain the point.
+                raise _PointFailed(PointFailure(
+                    kind="deadlock", message=str(exc),
+                    attempts=attempts,
+                    detail=(exc.report.to_json()
+                            if exc.report is not None else None)))
+            except StencilFlowError as exc:
+                raise _PointFailed(PointFailure(
+                    kind="error", message=str(exc),
+                    attempts=attempts))
+            except Exception as exc:
+                # Unexpected worker crash: possibly transient
+                # (resource pressure), retry with backoff.
+                if attempts > retries:
+                    raise _PointFailed(PointFailure(
+                        kind="error",
+                        message=f"{type(exc).__name__}: {exc}",
+                        attempts=attempts))
+                time.sleep(retry_backoff * (2 ** (attempts - 1)))
+
     ordered = list(distinct.values())
+    outcomes: Dict[Tuple, Tuple[Measurement, bool]] = {}
+    failures: Dict[Tuple, PointFailure] = {}
+    completed = 0
+
+    def note_done():
+        nonlocal completed
+        completed += 1
+        if checkpoint is not None and checkpoint_every > 0 \
+                and completed % checkpoint_every == 0:
+            checkpoint()
+
     max_workers = workers or _DEFAULT_WORKERS
-    if max_workers > 1 and len(ordered) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(measure, ordered))
-    else:
-        results = [measure(p) for p in ordered]
-    return {_machine_key(p): outcome
-            for p, outcome in zip(ordered, results)}
+    use_pool = ((max_workers > 1 or point_timeout is not None)
+                and len(ordered) > 1)
+    if not use_pool:
+        for prediction in ordered:
+            try:
+                outcomes[_machine_key(prediction)] = \
+                    measure(prediction)
+            except _PointFailed as exc:
+                failures[_machine_key(prediction)] = exc.failure
+            note_done()
+        return outcomes, failures
+
+    # Threads cannot be killed: a timed-out point's worker keeps
+    # running, so the pool is abandoned (shutdown without join) once
+    # any point times out, and remaining results are still collected
+    # with their own budgets.
+    abandoned = False
+    pool = ThreadPoolExecutor(max_workers=max_workers)
+    try:
+        futures = [(p, pool.submit(measure, p)) for p in ordered]
+        for prediction, future in futures:
+            key = _machine_key(prediction)
+            try:
+                outcomes[key] = future.result(timeout=point_timeout)
+            except FuturesTimeout:
+                future.cancel()
+                abandoned = True
+                failures[key] = PointFailure(
+                    kind="timeout",
+                    message=f"simulation exceeded the per-point "
+                            f"budget of {point_timeout:g}s")
+            except _PointFailed as exc:
+                failures[key] = exc.failure
+            note_done()
+    finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    return outcomes, failures
 
 
 def _build_entries(predictions: Sequence[Prediction],
                    measurements: Mapping[Tuple,
                                          Tuple[Measurement, bool]],
+                   failures: Mapping[Tuple, PointFailure],
                    base: ConfigPoint
                    ) -> Tuple[ExplorationEntry, ...]:
     records = []
@@ -255,6 +379,8 @@ def _build_entries(predictions: Sequence[Prediction],
     entries = []
     for record in records:
         prediction, measurement, cache_hit, error = record
+        failure = failures.get(_machine_key(prediction)) \
+            if prediction.feasible else None
         entries.append(ExplorationEntry(
             point=prediction.point,
             feasible=prediction.feasible,
@@ -276,6 +402,8 @@ def _build_entries(predictions: Sequence[Prediction],
             rank=rank_of.get(id(record)),
             pareto=id(record) in pareto_ids,
             baseline=prediction.point == base,
+            failed=failure is not None,
+            failure=failure,
         ))
     return tuple(entries)
 

@@ -16,6 +16,35 @@ from .space import ConfigPoint, ConfigSpace
 
 
 @dataclass(frozen=True)
+class PointFailure:
+    """Why one frontier point failed to produce a measurement.
+
+    ``kind`` is ``"deadlock"`` (the machine wedged — ``detail``
+    carries the structured
+    :class:`~repro.faults.forensics.DeadlockReport` as JSON),
+    ``"timeout"`` (the per-point wall budget elapsed), or ``"error"``
+    (the simulation raised).  ``attempts`` counts tries including
+    retries.
+    """
+
+    kind: str
+    message: str
+    attempts: int = 1
+    detail: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "message": self.message,
+                "attempts": self.attempts, "detail": self.detail}
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "PointFailure":
+        return cls(kind=str(spec["kind"]),
+                   message=str(spec["message"]),
+                   attempts=int(spec.get("attempts", 1)),
+                   detail=spec.get("detail"))
+
+
+@dataclass(frozen=True)
 class ExplorationEntry:
     """One configuration point's full record.
 
@@ -44,12 +73,19 @@ class ExplorationEntry:
     rank: Optional[int] = None
     pareto: bool = False
     baseline: bool = False
+    #: The point was selected for simulation but produced no
+    #: measurement (deadlock, timeout, or a crashed worker); the
+    #: sweep completes with a partial report and a re-run retries it.
+    failed: bool = False
+    failure: Optional[PointFailure] = None
 
     def to_json(self) -> dict:
         record = {}
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name == "point":
+                value = value.to_json()
+            elif f.name == "failure" and value is not None:
                 value = value.to_json()
             elif value == float("inf"):
                 value = "inf"
@@ -60,9 +96,14 @@ class ExplorationEntry:
     def from_json(cls, spec: Mapping) -> "ExplorationEntry":
         kwargs = {}
         for f in fields(cls):
+            if f.name not in spec:
+                continue  # fields newer than the report: defaults
             value = spec[f.name]
             if f.name == "point":
                 value = ConfigPoint.from_json(value)
+            elif f.name == "failure":
+                value = (PointFailure.from_json(value)
+                         if value is not None else None)
             elif value == "inf":
                 value = float("inf")
             kwargs[f.name] = value
@@ -104,6 +145,12 @@ class ExplorationReport:
     @property
     def simulated_points(self) -> int:
         return sum(1 for e in self.entries if e.simulated)
+
+    @property
+    def failed_points(self) -> Tuple[ExplorationEntry, ...]:
+        """Frontier points that produced no measurement (deadlocks,
+        per-point timeouts, crashed workers)."""
+        return tuple(e for e in self.entries if e.failed)
 
     @property
     def pruned_infeasible(self) -> int:
@@ -184,6 +231,7 @@ class ExplorationReport:
                 "total_points": self.total_points,
                 "feasible_points": self.feasible_points,
                 "simulated_points": self.simulated_points,
+                "failed_points": len(self.failed_points),
                 "pruned_infeasible": self.pruned_infeasible,
                 "pruned_by_model": self.pruned_by_model,
                 "prune_fraction": self.prune_fraction,
@@ -243,6 +291,16 @@ class ExplorationReport:
             f"simulated: {self.simulated_points} "
             f"({self.prune_fraction:.0%} of the space never simulated)",
         ]
+        failed = self.failed_points
+        if failed:
+            lines.append(f"  failed points: {len(failed)} "
+                         f"(sweep completed with partial results; "
+                         f"re-run to retry)")
+            for entry in failed:
+                failure = entry.failure
+                what = (f"{failure.kind}: {failure.message}"
+                        if failure is not None else "failed")
+                lines.append(f"    {entry.point.label()}: {what}")
         error = self.worst_model_error
         if error is not None:
             lines.append(f"  worst |model error|: {error:.2%}")

@@ -1,0 +1,184 @@
+"""Deadlock forensics: structured blame reports for wedged machines.
+
+When the deadlock detector fires, :func:`build_deadlock_report`
+inspects the terminal machine state — identical across engines, since
+both detect deadlocks through the same scalar stepping — and produces
+a :class:`DeadlockReport`: the blocked-unit frontier with per-unit
+reasons, every channel's occupancy at the wedge, the wait-for cycle
+among blocked units (who is waiting on whose words — the Fig. 4
+signature is a cycle through an under-provisioned delay buffer), and,
+when a fault plan is live, the fault window that most plausibly
+induced the wedge.  The report rides on
+:attr:`repro.errors.DeadlockError.report` and is surfaced by
+``repro run`` and the explorer's failed-point records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Structured blame for one deadlock.
+
+    Attributes:
+        cycle: the cycle the detector fired at.
+        blocked: ``(unit, reason)`` frontier, machine order.
+        waits_on: per blocked unit, the blocked units it waits on.
+        wait_cycle: one wait-for cycle among the blocked units
+            (``None`` when the frontier is acyclic — e.g. a stall
+            chain ending at a unit wedged on something external).
+        channel_occupancy: ``(channel, occupancy, capacity)`` for
+            every channel at the instant of the wedge.
+        fault_window: description of the fault window that induced
+            the wedge, when a fault plan was active.
+    """
+
+    cycle: int
+    blocked: Tuple[Tuple[str, str], ...]
+    waits_on: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    wait_cycle: Optional[Tuple[str, ...]]
+    channel_occupancy: Tuple[Tuple[str, int, int], ...]
+    fault_window: Optional[str] = None
+
+    def explain(self) -> str:
+        """One-paragraph human diagnostic (the CLI's exit-2 text)."""
+        parts = [f"deadlock at cycle {self.cycle}: "
+                 f"{len(self.blocked)} unit(s) blocked."]
+        if self.wait_cycle:
+            chain = " -> ".join(self.wait_cycle
+                                + (self.wait_cycle[0],))
+            parts.append(f"Wait-for cycle: {chain}.")
+        frontier = "; ".join(f"{name}: {reason}"
+                             for name, reason in self.blocked)
+        parts.append(f"Frontier: {frontier}.")
+        full = [f"{name} {occ}/{cap}"
+                for name, occ, cap in self.channel_occupancy
+                if cap and occ >= cap]
+        if full:
+            parts.append(f"Full channels: {', '.join(full)}.")
+        if self.fault_window:
+            parts.append(f"Induced by fault window: "
+                         f"{self.fault_window}.")
+        return " ".join(parts)
+
+    def to_json(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "blocked": [[name, reason]
+                        for name, reason in self.blocked],
+            "waits_on": {name: list(targets)
+                         for name, targets in self.waits_on},
+            "wait_cycle": (list(self.wait_cycle)
+                           if self.wait_cycle else None),
+            "channel_occupancy": [[name, occ, cap] for name, occ, cap
+                                  in self.channel_occupancy],
+            "fault_window": self.fault_window,
+        }
+
+
+def _waits_on(unit, producer_of: Dict[int, str],
+              consumer_of: Dict[int, str]) -> Set[str]:
+    """The units ``unit`` is waiting on, read off its channel state."""
+    ins = getattr(unit, "in_channels", None)
+    if ins is not None:  # stencil: input side first, then output side
+        needed = unit.needed_fields()
+        empty = [f for f in needed if ins[f].empty]
+        if empty:
+            return {producer_of.get(id(ins[f]), "?") for f in empty}
+        outs = list(unit.out_channels)
+        fulls = [c for c in outs if c.full]
+        return {consumer_of.get(id(c), "?") for c in (fulls or outs)}
+    in_channel = getattr(unit, "in_channel", None)
+    if in_channel is not None:  # sink
+        return {producer_of.get(id(in_channel), "?")}
+    outs = list(getattr(unit, "out_channels", ()))  # source
+    fulls = [c for c in outs if c.full]
+    return {consumer_of.get(id(c), "?") for c in (fulls or outs)}
+
+
+def _find_cycle(edges: Dict[str, Tuple[str, ...]]
+                ) -> Optional[Tuple[str, ...]]:
+    """One cycle of the wait-for graph, found by deterministic DFS
+    (nodes and successors visited in sorted order); rotated so the
+    lexicographically smallest member leads."""
+    visiting: Set[str] = set()
+    visited: Set[str] = set()
+    path: List[str] = []
+
+    def dfs(node: str) -> Optional[Tuple[str, ...]]:
+        visiting.add(node)
+        path.append(node)
+        for succ in edges.get(node, ()):
+            if succ in visiting:
+                cycle = tuple(path[path.index(succ):])
+                pivot = cycle.index(min(cycle))
+                return cycle[pivot:] + cycle[:pivot]
+            if succ not in visited:
+                found = dfs(succ)
+                if found is not None:
+                    return found
+        visiting.discard(node)
+        visited.add(node)
+        path.pop()
+        return None
+
+    for start in sorted(edges):
+        if start not in visited:
+            found = dfs(start)
+            if found is not None:
+                return found
+    return None
+
+
+def build_deadlock_report(simulator, now: int) -> DeadlockReport:
+    """Assemble the blame report from a wedged simulator's state."""
+    units = list(simulator.units)
+    blocked = tuple((u.name, u.describe_block())
+                    for u in units if not u.done)
+    blocked_names = {name for name, _reason in blocked}
+
+    producer_of: Dict[int, str] = {}
+    consumer_of: Dict[int, str] = {}
+    for unit in units:
+        for channel in getattr(unit, "out_channels", ()):
+            producer_of[id(channel)] = unit.name
+        ins = getattr(unit, "in_channels", None)
+        if ins is not None:
+            for channel in ins.values():
+                consumer_of[id(channel)] = unit.name
+        in_channel = getattr(unit, "in_channel", None)
+        if in_channel is not None:
+            consumer_of[id(in_channel)] = unit.name
+
+    # Wait-for edges are unioned over same-named units (a sink named
+    # after its producing stencil is common), and self-edges — pure
+    # name-collision artifacts, since no unit waits on itself — are
+    # dropped so they cannot mask the real cycle.
+    waits: Dict[str, set] = {}
+    for unit in units:
+        if unit.done or unit.name not in blocked_names:
+            continue
+        targets = _waits_on(unit, producer_of, consumer_of)
+        waits.setdefault(unit.name, set()).update(targets)
+    edges: Dict[str, Tuple[str, ...]] = {
+        name: tuple(sorted((targets & blocked_names) - {name}))
+        for name, targets in sorted(waits.items())}
+
+    occupancy = tuple(sorted(
+        (channel.name, len(channel), channel.capacity)
+        for channel in simulator.channels.values()))
+
+    faults = getattr(simulator, "_faults", None)
+    window = faults.inducing_window(now) if faults is not None else None
+
+    return DeadlockReport(
+        cycle=now,
+        blocked=blocked,
+        waits_on=tuple(sorted(edges.items())),
+        wait_cycle=_find_cycle(edges),
+        channel_occupancy=occupancy,
+        fault_window=window,
+    )

@@ -1,0 +1,291 @@
+"""Declarative, seed-reproducible fault plans (ROADMAP item 4).
+
+A :class:`FaultPlan` declares *when and where* the simulated machine
+misbehaves: per-link outage or degradation windows (the QSFP wire drops
+out or runs below its nominal rate) and per-unit transient stall windows
+(a kernel pauses — the simantha ``cycle_time`` idiom from the related
+work).  Plans are pure data: they ride on
+:attr:`repro.simulator.engine.SimulatorConfig.fault_plan`, serialize to
+JSON, and are resolved against a concrete machine by
+:class:`repro.faults.runtime.FaultRuntime` at build time.
+
+Both engines honour one plan identically — the scalar engine gates
+links and units cycle by cycle, the batched engine bounds every batch
+and super-pattern window at the next fault boundary and falls back to
+the shared scalar step inside a window — and the equivalence suite
+(``tests/test_engine_equivalence.py``) enforces that the results and
+fault reports match exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from ..errors import ValidationError
+
+
+def _check_window(what: str, start: int, end: int):
+    if start < 0:
+        raise ValidationError(
+            f"{what}: window start must be >= 0, got {start}")
+    if end <= start:
+        raise ValidationError(
+            f"{what}: window end must be > start, got [{start}, {end})")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One fault window on a network link.
+
+    ``rate_scale`` selects the failure mode: ``0.0`` is an outage (no
+    credit accrues, nothing is delivered; in-flight words wait out the
+    window), a value in ``(0, 1)`` is a degradation (credit accrues at
+    ``rate_scale`` times the nominal rate).  ``src``/``dst`` are bare
+    node names matched against the program DAG exactly like
+    ``--network-link-rate`` overrides; ``data`` optionally pins the
+    field the edge carries.  A fault that matches only local (same
+    device) edges is resolved but inactive — only links fail.
+    """
+
+    src: str
+    dst: str
+    start: int
+    end: int
+    rate_scale: float = 0.0
+    data: Optional[str] = None
+
+    def __post_init__(self):
+        _check_window(f"link fault {self.src}:{self.dst}",
+                      self.start, self.end)
+        if not 0.0 <= self.rate_scale < 1.0:
+            raise ValidationError(
+                f"link fault {self.src}:{self.dst}: rate_scale must be "
+                f"in [0, 1) (0 = outage), got {self.rate_scale}")
+
+    @property
+    def is_outage(self) -> bool:
+        return self.rate_scale == 0.0
+
+    def covers(self, now: int) -> bool:
+        return self.start <= now < self.end
+
+    def describe(self) -> str:
+        edge = f"{self.src}->{self.dst}"
+        if self.data is not None:
+            edge += f":{self.data}"
+        kind = "outage" if self.is_outage \
+            else f"degraded x{self.rate_scale:g}"
+        return f"link {edge} {kind} [{self.start}, {self.end})"
+
+    def to_json(self) -> dict:
+        return {"src": self.src, "dst": self.dst, "start": self.start,
+                "end": self.end, "rate_scale": self.rate_scale,
+                "data": self.data}
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "LinkFault":
+        return cls(src=str(spec["src"]), dst=str(spec["dst"]),
+                   start=int(spec["start"]), end=int(spec["end"]),
+                   rate_scale=float(spec.get("rate_scale", 0.0)),
+                   data=spec.get("data"))
+
+
+@dataclass(frozen=True)
+class UnitStall:
+    """One transient stall window on a unit: the unit's step is skipped
+    for every cycle in ``[start, end)`` and accounted as a stall.
+
+    Matching is by name, and gates *every* unit bearing it — when a
+    program names its output after the producing stencil, both the
+    stencil unit and the sink stall, and the fault report's
+    ``unit_stall_cycles`` counts unit-cycles summed over them."""
+
+    unit: str
+    start: int
+    end: int
+
+    def __post_init__(self):
+        _check_window(f"unit stall {self.unit}", self.start, self.end)
+
+    def covers(self, now: int) -> bool:
+        return self.start <= now < self.end
+
+    def describe(self) -> str:
+        return f"unit {self.unit} stall [{self.start}, {self.end})"
+
+    def to_json(self) -> dict:
+        return {"unit": self.unit, "start": self.start, "end": self.end}
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "UnitStall":
+        return cls(unit=str(spec["unit"]), start=int(spec["start"]),
+                   end=int(spec["end"]))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault windows.
+
+    Carried on :attr:`SimulatorConfig.fault_plan`; ``None`` (or an
+    empty plan) means the fault layer is entirely inert and simulations
+    are bitwise identical to a build without it.
+    """
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    unit_stalls: Tuple[UnitStall, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "link_faults",
+                           tuple(self.link_faults))
+        object.__setattr__(self, "unit_stalls",
+                           tuple(self.unit_stalls))
+
+    @property
+    def empty(self) -> bool:
+        return not self.link_faults and not self.unit_stalls
+
+    def windows(self):
+        """Every declared fault window, link and unit alike."""
+        return tuple(self.link_faults) + tuple(self.unit_stalls)
+
+    def total_fault_cycles(self) -> int:
+        """Sum of all window lengths — the most extra cycles the plan
+        can stall the machine for (used to widen the derived cycle
+        cap, so fault plans do not trip the livelock guard)."""
+        return sum(w.end - w.start for w in self.windows())
+
+    def describe_lines(self) -> List[str]:
+        return [w.describe() for w in self.windows()]
+
+    def to_json(self) -> dict:
+        return {"link_faults": [f.to_json() for f in self.link_faults],
+                "unit_stalls": [s.to_json() for s in self.unit_stalls]}
+
+    @classmethod
+    def from_json(cls, spec: Mapping) -> "FaultPlan":
+        return cls(
+            link_faults=tuple(LinkFault.from_json(f)
+                              for f in spec.get("link_faults", ())),
+            unit_stalls=tuple(UnitStall.from_json(s)
+                              for s in spec.get("unit_stalls", ())))
+
+
+# -- CLI spec parsing --------------------------------------------------------
+
+
+def _parse_window(what: str, text: str) -> Tuple[int, int]:
+    start_text, sep, end_text = text.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return int(start_text), int(end_text)
+    except ValueError:
+        raise ValidationError(
+            f"invalid fault window {text!r} in {what} "
+            f"(expected START:END, e.g. 100:150)")
+
+
+def parse_link_fault_spec(text: str) -> LinkFault:
+    """Parse one ``SRC:DST[:FIELD]@START:END[*SCALE]`` link fault.
+
+    ``SCALE`` defaults to 0 (an outage); a value in (0, 1) degrades the
+    link's rate instead.  Examples: ``s0:s1@100:200`` (outage),
+    ``s0:s1:a@64:96*0.5`` (half rate on the edge carrying field a).
+    """
+    if "@" not in text:
+        raise ValidationError(
+            f"invalid link-fault spec {text!r} (expected "
+            f"SRC:DST[:FIELD]@START:END[*SCALE], e.g. s0:s1@100:200)")
+    edge_text, _, window_text = text.partition("@")
+    scale = 0.0
+    if "*" in window_text:
+        window_text, _, scale_text = window_text.partition("*")
+        try:
+            scale = float(scale_text)
+        except ValueError:
+            raise ValidationError(
+                f"invalid fault rate scale {scale_text!r} in {text!r}")
+    parts = edge_text.split(":")
+    if len(parts) not in (2, 3) or not all(parts):
+        raise ValidationError(
+            f"invalid link-fault spec {text!r} (expected "
+            f"SRC:DST[:FIELD]@START:END[*SCALE])")
+    start, end = _parse_window(text, window_text)
+    return LinkFault(src=parts[0], dst=parts[1], start=start, end=end,
+                     rate_scale=scale,
+                     data=parts[2] if len(parts) == 3 else None)
+
+
+def parse_unit_stall_spec(text: str) -> UnitStall:
+    """Parse one ``UNIT@START:END`` transient-stall spec."""
+    if "@" not in text:
+        raise ValidationError(
+            f"invalid unit-stall spec {text!r} "
+            f"(expected UNIT@START:END, e.g. s1@100:150)")
+    unit, _, window_text = text.partition("@")
+    if not unit:
+        raise ValidationError(
+            f"invalid unit-stall spec {text!r} (empty unit name)")
+    start, end = _parse_window(text, window_text)
+    return UnitStall(unit=unit, start=start, end=end)
+
+
+# -- seeded plan generation --------------------------------------------------
+
+
+def random_fault_plan(program, seed: int, horizon: int,
+                      device_of: Optional[Mapping[str, int]] = None,
+                      max_link_faults: int = 2,
+                      max_unit_stalls: int = 2,
+                      min_window: int = 4,
+                      max_window: int = 64) -> FaultPlan:
+    """A seed-reproducible random plan over ``program``'s machine.
+
+    Link faults target only remote edges (edges crossing devices under
+    ``device_of``) because only links can fail; with no placement,
+    every fault budget goes to unit stalls.  Windows start uniformly in
+    ``[0, horizon)`` with lengths in ``[min_window, max_window]``.
+    """
+    import numpy as np
+
+    from ..graph.dag import node_device
+    from ..lowering import graph_for
+
+    rng = np.random.default_rng(seed)
+    graph = graph_for(program)
+    device_of = dict(device_of or {})
+    remote = []
+    if device_of:
+        for edge in graph.edges:
+            if node_device(graph, edge.src, device_of) != \
+                    node_device(graph, edge.dst, device_of):
+                remote.append((edge.src.split(":", 1)[-1],
+                               edge.dst.split(":", 1)[-1], edge.data))
+
+    def window() -> Tuple[int, int]:
+        start = int(rng.integers(0, max(1, horizon)))
+        length = int(rng.integers(min_window, max_window + 1))
+        return start, start + length
+
+    link_faults = []
+    if remote:
+        for _ in range(int(rng.integers(0, max_link_faults + 1))):
+            src, dst, data = remote[int(rng.integers(0, len(remote)))]
+            start, end = window()
+            scale = 0.0 if rng.integers(0, 2) \
+                else float(rng.choice([0.25, 0.5]))
+            link_faults.append(LinkFault(src, dst, start, end,
+                                         rate_scale=scale, data=data))
+
+    stencil_names = [s.name for s in program.stencils]
+    unit_stalls = []
+    if stencil_names:
+        for _ in range(int(rng.integers(0, max_unit_stalls + 1))):
+            unit = stencil_names[int(rng.integers(0,
+                                                  len(stencil_names)))]
+            start, end = window()
+            unit_stalls.append(UnitStall(unit, start, end))
+
+    return FaultPlan(link_faults=tuple(link_faults),
+                     unit_stalls=tuple(unit_stalls))

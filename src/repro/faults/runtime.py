@@ -1,0 +1,213 @@
+"""Fault-plan resolution and per-cycle gating against a live machine.
+
+:class:`FaultRuntime` is built once per simulation (only when the
+config carries a non-empty :class:`~repro.faults.plan.FaultPlan` — the
+fault-free path never constructs one) and owns all fault semantics:
+
+* **link gating** — on each fault-active cycle the affected link is
+  stepped frozen (outage: time advances, no credit, no delivery) or
+  degraded (scaled credit refill), via the link's own
+  ``step_frozen``/``step_degraded`` methods;
+* **unit gating** — a stalled unit's step is skipped outright and
+  accounted as a stall through the same bookkeeping both engines
+  share (:meth:`StencilBookkeeping._note_stall` for stencils);
+* **boundary queries** — the batched engine bounds every batch and
+  super-pattern window at :meth:`next_boundary` and falls back to the
+  shared scalar step whenever :meth:`any_active` holds, so a batch
+  never spans a fault edge.
+
+The runtime also accumulates the :class:`FaultReport` attached to
+:class:`~repro.simulator.engine.SimulationResult` — identical across
+engines because both execute every fault-active cycle through the
+same scalar step.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ValidationError
+from .plan import FaultPlan, LinkFault, UnitStall
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What the fault plan actually did to one simulation.
+
+    Per-link outage/degradation cycle counts and per-unit injected
+    stall counts — only *resolved, active* windows contribute, and
+    only cycles the machine actually simulated (a window past machine
+    completion counts nothing).  Equality is exact, and the engine
+    equivalence suite compares reports across engines.
+    """
+
+    link_outage_cycles: Dict[str, int] = field(default_factory=dict)
+    link_degraded_cycles: Dict[str, int] = field(default_factory=dict)
+    unit_stall_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.link_outage_cycles or self.link_degraded_cycles
+                    or self.unit_stall_cycles)
+
+    def to_json(self) -> dict:
+        return {"link_outage_cycles": dict(self.link_outage_cycles),
+                "link_degraded_cycles": dict(self.link_degraded_cycles),
+                "unit_stall_cycles": dict(self.unit_stall_cycles)}
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for name, count in sorted(self.link_outage_cycles.items()):
+            lines.append(f"link {name}: {count} outage cycles")
+        for name, count in sorted(self.link_degraded_cycles.items()):
+            lines.append(f"link {name}: {count} degraded cycles")
+        for name, count in sorted(self.unit_stall_cycles.items()):
+            lines.append(f"unit {name}: {count} injected stall cycles")
+        return lines
+
+
+class FaultRuntime:
+    """A :class:`FaultPlan` resolved against one built machine."""
+
+    def __init__(self, plan: FaultPlan, graph, channels, links, units):
+        self.plan = plan
+        link_ids = {id(link) for link in links}
+        #: id(link) -> link faults gating it.
+        self._link_faults: Dict[int, List[LinkFault]] = {}
+        #: (start, end, description) of every resolved *active* window.
+        self._descriptions: List[Tuple[int, int, str]] = []
+        for fault in plan.link_faults:
+            matched = False
+            for edge in graph.edges:
+                bare_src = edge.src.split(":", 1)[-1]
+                bare_dst = edge.dst.split(":", 1)[-1]
+                if bare_src != fault.src or bare_dst != fault.dst or \
+                        (fault.data is not None
+                         and edge.data != fault.data):
+                    continue
+                matched = True
+                channel = channels[(edge.src, edge.dst, edge.data)]
+                if id(channel) in link_ids:
+                    self._link_faults.setdefault(id(channel),
+                                                 []).append(fault)
+                    self._descriptions.append(
+                        (fault.start, fault.end, fault.describe()))
+                # A local-edge match is resolved but inactive: only
+                # links fail, mirroring link-rate override semantics.
+            if not matched:
+                raise ValidationError(
+                    f"fault plan: {fault.describe()} matches no edge "
+                    f"of the program")
+
+        names = {unit.name for unit in units}
+        by_name: Dict[str, List[UnitStall]] = {}
+        for stall in plan.unit_stalls:
+            if stall.unit not in names:
+                raise ValidationError(
+                    f"fault plan: {stall.describe()} names no unit of "
+                    f"the machine (units: {sorted(names)})")
+            by_name.setdefault(stall.unit, []).append(stall)
+            self._descriptions.append(
+                (stall.start, stall.end, stall.describe()))
+        #: id(unit) -> stall windows gating it.
+        self._unit_faults: Dict[int, List[UnitStall]] = {
+            id(unit): by_name[unit.name]
+            for unit in units if unit.name in by_name}
+
+        windows = sorted({(w.start, w.end)
+                          for faults in self._link_faults.values()
+                          for w in faults}
+                         | {(w.start, w.end)
+                            for stalls in self._unit_faults.values()
+                            for w in stalls})
+        self._windows: Tuple[Tuple[int, int], ...] = tuple(windows)
+        self._boundaries: List[int] = sorted(
+            {edge for w in windows for edge in w})
+        self._max_end = max((end for _start, end in windows), default=0)
+
+        self._link_outage: Dict[str, int] = {}
+        self._link_degraded: Dict[str, int] = {}
+        self._unit_stalls: Dict[str, int] = {}
+
+    # -- cycle-level gating (shared scalar step) ----------------------------
+
+    def any_active(self, now: int) -> bool:
+        """Whether any resolved fault window covers cycle ``now``."""
+        if now >= self._max_end:
+            return False
+        return any(start <= now < end for start, end in self._windows)
+
+    def next_boundary(self, now: int) -> Optional[int]:
+        """The first window start/end strictly after ``now`` — the
+        batched engine's planning horizon (``None`` once every window
+        is behind us)."""
+        idx = bisect_right(self._boundaries, now)
+        if idx >= len(self._boundaries):
+            return None
+        return self._boundaries[idx]
+
+    def step_links(self, links, now: int):
+        """Step every link for cycle ``now``, gating the faulted ones.
+
+        Overlapping windows on one link combine by the most severe
+        scale (an outage dominates any degradation).
+        """
+        for link in links:
+            faults = self._link_faults.get(id(link))
+            scale = 1.0
+            if faults:
+                for fault in faults:
+                    if fault.covers(now):
+                        scale = min(scale, fault.rate_scale)
+            if scale >= 1.0:
+                link.step(now)
+            elif scale <= 0.0:
+                link.step_frozen(now)
+                self._link_outage[link.name] = \
+                    self._link_outage.get(link.name, 0) + 1
+            else:
+                link.step_degraded(now, scale)
+                self._link_degraded[link.name] = \
+                    self._link_degraded.get(link.name, 0) + 1
+
+    def unit_faulted(self, unit, now: int) -> bool:
+        """Whether ``unit``'s step must be skipped this cycle.  Done
+        units never stall (their step is a no-op either way, and the
+        accounting must not run past completion)."""
+        windows = self._unit_faults.get(id(unit))
+        if not windows or unit.done:
+            return False
+        return any(w.covers(now) for w in windows)
+
+    def stall_unit(self, unit, now: int):
+        """Account one skipped cycle on ``unit`` through the same
+        stall bookkeeping both engines share."""
+        if hasattr(unit, "_note_stall"):  # stencil units
+            unit._note_stall("fault-injected stall")
+        else:  # sources and sinks keep flat counters
+            unit.stall_cycles += 1
+            unit._block = "fault-injected stall"
+        self._unit_stalls[unit.name] = \
+            self._unit_stalls.get(unit.name, 0) + 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def inducing_window(self, now: int) -> Optional[str]:
+        """The latest-starting resolved window begun by cycle ``now``
+        — deadlock forensics' best candidate for the fault that wedged
+        the machine (``None`` when no window has started yet)."""
+        best: Optional[Tuple[int, int, str]] = None
+        for start, end, description in self._descriptions:
+            if start <= now and (best is None or (start, end)
+                                 > (best[0], best[1])):
+                best = (start, end, description)
+        return best[2] if best is not None else None
+
+    def report(self) -> FaultReport:
+        return FaultReport(
+            link_outage_cycles=dict(sorted(self._link_outage.items())),
+            link_degraded_cycles=dict(
+                sorted(self._link_degraded.items())),
+            unit_stall_cycles=dict(sorted(self._unit_stalls.items())))

@@ -1,0 +1,149 @@
+"""Crash-safe storage primitives for the persistent caches.
+
+The resilience contract of every on-disk cache in this repo
+(``ResultCache`` persistence, ``ArtifactCache`` spill files):
+
+* **quarantine, never crash** — a truncated, garbage, or
+  schema-mismatched file is renamed aside (``<name>.corrupt-<pid>``)
+  with a warning and treated as absent, so the caller rebuilds it;
+* **never clobber evidence** — quarantine names are chosen to not
+  overwrite a previous quarantine (the corrupt file is kept for
+  inspection);
+* **lock cross-process merges** — :class:`FileLock` serializes
+  read-merge-write cycles between processes via ``fcntl.flock`` on a
+  sidecar lockfile, degrading to unlocked best-effort operation when
+  locking is unavailable (unsupported platform, unwritable
+  directory, timeout) — the atomic-replace write keeps even the
+  unlocked race torn-file-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: degrade to unlocked operation
+    fcntl = None
+
+
+def quarantine_file(path, reason: str = "",
+                    warn: bool = True) -> Optional[Path]:
+    """Move a corrupt file aside and warn; the caller then rebuilds.
+
+    Returns the quarantine path, or ``None`` when the file vanished
+    first (another process already quarantined or replaced it) or
+    could not be moved (it is then unlinked as a last resort).
+    """
+    path = Path(path)
+    stamp = os.getpid()
+    target = None
+    for n in range(10000):
+        suffix = f".corrupt-{stamp}" if n == 0 \
+            else f".corrupt-{stamp}-{n}"
+        candidate = path.with_name(path.name + suffix)
+        if not candidate.exists():
+            target = candidate
+            break
+    try:
+        if target is not None:
+            os.rename(path, target)
+        else:  # pathological: thousands of quarantines; just drop it
+            os.unlink(path)
+    except FileNotFoundError:
+        return None
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            return None
+        target = None
+    if warn:
+        detail = f" ({reason})" if reason else ""
+        where = f" -> {target.name}" if target is not None \
+            else " (removed)"
+        print(f"warning: quarantined corrupt file {path}{detail}"
+              f"{where}; it will be rebuilt", file=sys.stderr)
+    return target
+
+
+def read_json_guarded(path, expect: type = dict,
+                      quiet: bool = False) -> Optional[object]:
+    """Parse JSON from ``path``; quarantine and return ``None`` on any
+    corruption (missing files return ``None`` without quarantine)."""
+    path = Path(path)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+        if expect is not None and not isinstance(data, expect):
+            raise ValueError(f"expected a JSON {expect.__name__}, "
+                             f"got {type(data).__name__}")
+    except FileNotFoundError:
+        return None
+    except Exception as exc:
+        quarantine_file(path, reason=repr(exc), warn=not quiet)
+        return None
+    return data
+
+
+class FileLock:
+    """Advisory cross-process lock on a sidecar lockfile.
+
+    Best-effort by design: when locking is unavailable or acquisition
+    times out, the context manager enters anyway with
+    :attr:`locked` False — callers keep their atomic-replace writes,
+    losing only the merge serialization (the pre-lock behaviour).
+    """
+
+    def __init__(self, path, timeout: float = 10.0,
+                 poll: float = 0.05):
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll = poll
+        self.locked = False
+        self._handle = None
+
+    def acquire(self) -> bool:
+        if fcntl is None or self.locked:
+            return self.locked
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = open(self.path, "a+")
+        except OSError:
+            return False
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._handle = handle
+                self.locked = True
+                return True
+            except OSError:
+                if time.monotonic() >= deadline:
+                    handle.close()
+                    return False
+                time.sleep(self.poll)
+
+    def release(self):
+        handle, self._handle = self._handle, None
+        self.locked = False
+        if handle is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            handle.close()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+        return False

@@ -1676,6 +1676,7 @@ class BatchedSimulator(Simulator):
         max_cycles = self._max_cycles(expected)
         sp_period = self._superpattern_period()
         sp_retry = 0
+        faults = self._faults
         now = 0
         idle_streak = 0
         while not all(u.done for u in self.units):
@@ -1683,8 +1684,28 @@ class BatchedSimulator(Simulator):
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"(expected ~{expected})")
+            if faults is not None and faults.any_active(now):
+                # Inside a fault window every cycle runs through the
+                # shared scalar step — fault semantics stay identical
+                # to the reference engine by construction.  Frozen
+                # cycles inside a window never count toward the
+                # deadlock detector (same rule as the scalar loop).
+                self.scalar_cycles += 1
+                self._step_cycle(now)
+                idle_streak = 0
+                now += 1
+                continue
+            # Outside a window, never plan a batch across a fault
+            # boundary: when inactive at ``now``, the next boundary is
+            # a window start strictly ahead, so the horizon keeps at
+            # least one plannable cycle.
+            horizon = max_cycles
+            if faults is not None:
+                boundary = faults.next_boundary(now)
+                if boundary is not None:
+                    horizon = min(horizon, boundary)
             if sp_period is not None and now >= sp_retry:
-                window = self._plan_window(now, sp_period, max_cycles)
+                window = self._plan_window(now, sp_period, horizon)
                 if window is not None and window.worthwhile(self.links):
                     self._execute_window(window, now)
                     self.window_count += 1
@@ -1698,7 +1719,7 @@ class BatchedSimulator(Simulator):
                 sp_retry = now + sp_period
             plan = self._plan_cycle(now)
             if not plan.scalar_only:
-                plan.batch = min(plan.batch, max_cycles - now)
+                plan.batch = min(plan.batch, horizon - now)
                 frozen = (not plan.any_progress
                           and not any(len(link) for link in self.links))
                 if frozen:
@@ -1713,17 +1734,13 @@ class BatchedSimulator(Simulator):
                 self._execute_batch(plan, now)
                 now += plan.batch
                 if frozen and idle_streak >= self.config.deadlock_window:
-                    raise deadlock_error(self.units, now - 1)
+                    raise deadlock_error(self.units, now - 1,
+                                         simulator=self)
                 continue
             # Exact scalar step: unbatchable patterns, and all
             # zero-progress cycles so deadlock detection is unchanged.
-            progressed = False
             self.scalar_cycles += 1
-            for link in self.links:
-                link.step(now)
-            for unit in self.units:
-                if unit.step(now):
-                    progressed = True
+            progressed = self._step_cycle(now)
             if progressed:
                 idle_streak = 0
             else:
@@ -1731,7 +1748,7 @@ class BatchedSimulator(Simulator):
                 in_flight = sum(len(link) for link in self.links)
                 if idle_streak >= self.config.deadlock_window and \
                         in_flight == 0:
-                    raise deadlock_error(self.units, now)
+                    raise deadlock_error(self.units, now, simulator=self)
             now += 1
 
         return self._collect_result(now)

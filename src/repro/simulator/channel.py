@@ -91,6 +91,14 @@ class RateLimiter:
         """Account one transferred word."""
         self.credit -= 1.0
 
+    def refill_scaled(self, scale: float):
+        """Accrue one *degraded* cycle's credit: a fault window scales
+        the wire rate by ``scale`` in (0, 1); the cap is unchanged, so
+        the sub-unit-rate invariant (spend from exactly 1.0 to exactly
+        0.0) still holds once the window lifts."""
+        self.credit = min(self.credit + self.rate * scale,
+                          max(self.rate, 1.0))
+
     # -- closed-form schedule -------------------------------------------------
 
     def cycles_to_ready(self, budget: int = SCAN_LIMIT) -> Optional[int]:
@@ -301,6 +309,24 @@ class NetworkLink:
         # Fractional rates accumulate credit: a 0.5 words/cycle link
         # delivers one word every other cycle.
         self._limiter.refill()
+        while (self._in_flight and self._limiter.ready
+               and self._in_flight[0][0] <= now):
+            _, word = self._in_flight.popleft()
+            self._ready.append(word)
+            self._limiter.spend()
+
+    def step_frozen(self, now: int):
+        """Advance time through a link *outage*: the wire is down, no
+        credit accrues and nothing is delivered; in-flight words keep
+        their delivery stamps and drain once the window lifts."""
+        self._now = now
+
+    def step_degraded(self, now: int, scale: float):
+        """Advance time through a *degraded* window: credit accrues at
+        ``scale`` times the configured rate, deliveries otherwise as
+        normal."""
+        self._now = now
+        self._limiter.refill_scaled(scale)
         while (self._in_flight and self._limiter.ready
                and self._in_flight[0][0] <= now):
             _, word = self._in_flight.popleft()
@@ -600,6 +626,24 @@ class ArrayNetworkLink:
         """Advance time: deliver in-flight words whose latency elapsed."""
         self._now = now
         self._limiter.refill()
+        while (len(self._in_rows) and self._limiter.ready
+               and self._in_times.peek0() <= now):
+            self._ready.push_rows(self._in_rows.pop_rows(1))
+            self._in_times.pop_rows(1)
+            self._limiter.spend()
+
+    def step_frozen(self, now: int):
+        """Advance time through a link *outage* (see
+        :meth:`NetworkLink.step_frozen`)."""
+        self._now = now
+
+    def step_degraded(self, now: int, scale: float):
+        """Advance time through a *degraded* window (see
+        :meth:`NetworkLink.step_degraded`); the memoized closed-form
+        wait is invalid while credit accrues off-schedule."""
+        self._now = now
+        self._limiter.refill_scaled(scale)
+        self._wait_cache = None
         while (len(self._in_rows) and self._limiter.ready
                and self._in_times.peek0() <= now):
             self._ready.push_rows(self._in_rows.pop_rows(1))

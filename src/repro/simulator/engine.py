@@ -28,6 +28,8 @@ from ..analysis.delay_buffers import BufferingAnalysis
 from ..core.program import StencilProgram
 from ..errors import DeadlockError, SimulationError, ValidationError
 from ..expr.latency import critical_path
+from ..faults.plan import FaultPlan
+from ..faults.runtime import FaultReport, FaultRuntime
 from ..graph.dag import StencilGraph, node_device
 from ..lowering import (
     LoweringConfig,
@@ -54,6 +56,9 @@ class SimulationResult:
         steady_stall_cycles: per-stencil stalls after its init phase —
             zero for a correctly buffered, source-fed design.
         channel_occupancy: per-channel high-water mark.
+        fault_report: per-link/per-unit fault accounting when a
+            :class:`~repro.faults.plan.FaultPlan` was configured;
+            ``None`` on fault-free runs.
     """
 
     outputs: Dict[str, np.ndarray]
@@ -64,6 +69,7 @@ class SimulationResult:
     channel_occupancy: Dict[str, int]
     output_continuous: Dict[str, bool] = field(default_factory=dict)
     stencil_continuous: Dict[str, bool] = field(default_factory=dict)
+    fault_report: Optional[FaultReport] = None
 
     @property
     def model_accuracy(self) -> float:
@@ -111,6 +117,12 @@ class SimulatorConfig:
             batches.  Disabling falls back to per-delivery re-planning
             (results are identical; the knob exists for benchmarking
             the super-pattern win).
+        fault_plan: deterministic fault-injection schedule
+            (:class:`~repro.faults.plan.FaultPlan`): link outage /
+            degradation windows and unit stall windows, honoured
+            identically by both engines.  ``None`` (the default) keeps
+            the machine fault-free and bitwise identical to a build
+            without the fault layer.
     """
 
     min_channel_depth: int = 8
@@ -123,6 +135,7 @@ class SimulatorConfig:
     engine_mode: str = "auto"
     max_batch_words: int = 32768
     superpattern: bool = True
+    fault_plan: Optional[FaultPlan] = None
 
     def link_rate(self, key: ChannelKey) -> float:
         """The words-per-cycle rate of the link on edge ``key``."""
@@ -157,6 +170,7 @@ class Simulator:
         self.units: List[Unit] = []
         self.sinks: Dict[str, SinkUnit] = {}
         self.sources: Dict[str, SourceUnit] = {}
+        self._faults: Optional[FaultRuntime] = None
 
     # -- machine construction ------------------------------------------------
 
@@ -258,6 +272,11 @@ class Simulator:
             self.sinks[out] = sink
             self.units.append(sink)
 
+        plan = config.fault_plan
+        if plan is not None and not plan.empty:
+            self._faults = FaultRuntime(plan, graph, self.channels,
+                                        self.links, self.units)
+
     # -- main loop -----------------------------------------------------------
 
     def _expected_cycles(self) -> int:
@@ -267,7 +286,13 @@ class Simulator:
     def _max_cycles(self, expected: int) -> int:
         if self.config.max_cycles is not None:
             return self.config.max_cycles
-        return 64 * expected + 100_000
+        cap = 64 * expected + 100_000
+        plan = self.config.fault_plan
+        if plan is not None:
+            # Every fault-window cycle can legitimately make zero
+            # progress; widen the livelock cap accordingly.
+            cap += plan.total_fault_cycles()
+        return cap
 
     def _collect_result(self, cycles: int) -> SimulationResult:
         """Assemble the result record from terminal machine state (shared
@@ -290,7 +315,37 @@ class Simulator:
             stencil_continuous={u.name: u.streamed_continuously
                                 for u in self.units
                                 if hasattr(u, "stall_after_init")},
+            fault_report=(self._faults.report()
+                          if self._faults is not None else None),
         )
+
+    def _step_cycle(self, now: int, on_progress=None) -> bool:
+        """Step every link and unit through one cycle, applying the
+        fault plan when one is live.  Shared verbatim by the scalar
+        run loop, the tracing engine, and the batched engine's scalar
+        fallback — the single definition is what makes fault semantics
+        engine-identical by construction."""
+        faults = self._faults
+        progressed = False
+        if faults is None:
+            for link in self.links:
+                link.step(now)
+            for unit in self.units:
+                if unit.step(now):
+                    progressed = True
+                    if on_progress is not None:
+                        on_progress(unit)
+        else:
+            faults.step_links(self.links, now)
+            for unit in self.units:
+                if faults.unit_faulted(unit, now):
+                    faults.stall_unit(unit, now)
+                    continue
+                if unit.step(now):
+                    progressed = True
+                    if on_progress is not None:
+                        on_progress(unit)
+        return progressed
 
     def run(self, inputs: Mapping[str, np.ndarray]) -> SimulationResult:
         """Simulate to completion. Raises :class:`DeadlockError` if the
@@ -298,6 +353,7 @@ class Simulator:
         self._build(inputs)
         expected = self._expected_cycles()
         max_cycles = self._max_cycles(expected)
+        faults = self._faults
         now = 0
         idle_streak = 0
         while not all(u.done for u in self.units):
@@ -305,33 +361,43 @@ class Simulator:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"(expected ~{expected})")
-            progressed = False
-            for link in self.links:
-                link.step(now)
-            for unit in self.units:
-                if unit.step(now):
-                    progressed = True
+            progressed = self._step_cycle(now)
             if progressed:
+                idle_streak = 0
+            elif faults is not None and faults.any_active(now):
+                # A fault window legitimately freezes the machine;
+                # those cycles must not count toward the deadlock
+                # detector (both engines apply this identically).
                 idle_streak = 0
             else:
                 idle_streak += 1
                 in_flight = sum(len(link) for link in self.links)
                 if idle_streak >= self.config.deadlock_window and \
                         in_flight == 0:
-                    raise deadlock_error(self.units, now)
+                    raise deadlock_error(self.units, now, simulator=self)
             now += 1
 
         return self._collect_result(now)
 
 
-def deadlock_error(units, now: int, prefix: str = None) -> DeadlockError:
-    """Build the standard deadlock diagnostic from blocked units."""
+def deadlock_error(units, now: int, prefix: str = None,
+                   simulator=None) -> DeadlockError:
+    """Build the standard deadlock diagnostic from blocked units.
+
+    When the wedged ``simulator`` is passed, a structured
+    :class:`~repro.faults.forensics.DeadlockReport` is attached as the
+    error's ``report`` (the message string stays unchanged)."""
     blocked = [(u.name, u.describe_block()) for u in units if not u.done]
     detail = "; ".join(f"{n}: {r}" for n, r in blocked)
     if prefix is None:
         prefix = f"deadlock at cycle {now}: "
+    report = None
+    if simulator is not None:
+        from ..faults.forensics import build_deadlock_report
+        report = build_deadlock_report(simulator, now)
     return DeadlockError(prefix + detail, cycle=now,
-                         blocked_units=tuple(n for n, _ in blocked))
+                         blocked_units=tuple(n for n, _ in blocked),
+                         report=report)
 
 
 def resolve_engine_mode(config: SimulatorConfig,

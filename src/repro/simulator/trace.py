@@ -80,21 +80,19 @@ class TracingSimulator(Simulator):
             trace.progress[unit.name] = []
             counters[unit.name] = 0
 
+        def count_progress(unit):
+            counters[unit.name] += 1
+
         expected = self._expected_cycles()
         max_cycles = self._max_cycles(expected)
+        faults = self._faults
         now = 0
         idle_streak = 0
         while not all(u.done for u in self.units):
             if now >= max_cycles:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles")
-            progressed = False
-            for link in self.links:
-                link.step(now)
-            for unit in self.units:
-                if unit.step(now):
-                    counters[unit.name] += 1
-                    progressed = True
+            progressed = self._step_cycle(now, on_progress=count_progress)
             if now % trace.sample_every == 0:
                 trace.cycles.append(now)
                 for channel in self.channels.values():
@@ -103,13 +101,16 @@ class TracingSimulator(Simulator):
                     trace.progress[unit.name].append(counters[unit.name])
             if progressed:
                 idle_streak = 0
+            elif faults is not None and faults.any_active(now):
+                idle_streak = 0
             else:
                 idle_streak += 1
                 in_flight = sum(len(link) for link in self.links)
                 if idle_streak >= self.config.deadlock_window \
                         and in_flight == 0:
                     raise deadlock_error(self.units, now,
-                                         prefix="deadlock (traced): ")
+                                         prefix="deadlock (traced): ",
+                                         simulator=self)
             now += 1
 
         return self._collect_result(now)
