@@ -10,6 +10,9 @@ Mirrors the workflow of Fig. 13 from the shell:
   against the sequential reference.
 * ``explore``  — sweep the mapping design space (vectorization,
   devices, placement, network) and rank the surviving configurations.
+* ``cache``    — inspect (``stats``) or clean (``prune``) the
+  persistent explore result cache, artifact spill, and service run
+  directories.
 * ``list-programs`` — show the bundled program catalog.
 
 ``<program>`` is either a JSON program description or a catalog name
@@ -19,12 +22,19 @@ Mirrors the workflow of Fig. 13 from the shell:
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 from pathlib import Path
 
 from .codegen import generate_package
 from .core import StencilProgram
-from .errors import DeadlockError, ParseError, ReproError
+from .errors import (
+    DeadlockError,
+    ParseError,
+    ReproError,
+    SweepInterrupted,
+)
 from .graph import StencilGraph
 from .lowering import lower
 from .perf import (
@@ -174,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="random-input seed")
     explore.add_argument("--workers", type=int, default=None,
                          help="parallel simulator evaluations")
+    explore.add_argument("--backend", default="thread",
+                         choices=("thread", "process"),
+                         help="frontier execution backend: in-process "
+                              "threads, or the supervised multiprocess "
+                              "service (leased job batches, worker "
+                              "heartbeats, crash-loop quarantine); "
+                              "'process' degrades to 'thread' when "
+                              "workers cannot be spawned")
     explore.add_argument("--output", "-o", type=Path,
                          default=Path("explore_report.json"),
                          help="where to write the ranked JSON report")
@@ -202,6 +220,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the persistent result cache "
                               "every N completed points, so a killed "
                               "sweep resumes from partial results")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clean the persistent explore/artifact caches")
+    cache_sub = cache.add_subparsers(dest="cache_command",
+                                     required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="entry counts, shard files, quarantine leftovers")
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="remove quarantined files and finished service run dirs")
+    cache_prune.add_argument("--all", action="store_true",
+                             dest="prune_all",
+                             help="also delete the caches themselves "
+                                  "(result cache, artifact spill), not "
+                                  "just quarantine/run-dir leftovers")
+    for sub_cmd in (cache_stats, cache_prune):
+        sub_cmd.add_argument("--cache-dir", type=Path, default=None,
+                             help="cache root to inspect (default: "
+                                  "$REPRO_CACHE_DIR or "
+                                  "~/.cache/repro)")
 
     sub.add_parser("list-programs",
                    help="list the bundled program catalog")
@@ -262,6 +302,8 @@ def main(argv=None) -> int:
     try:
         if args.command == "list-programs":
             return _list_programs(args)
+        if args.command == "cache":
+            return _cache(args)
         program = _load_program(args.program)
         handler = {
             "info": _info,
@@ -408,6 +450,50 @@ def _parse_transform_axis(setting: str):
             "both": (False, True)}[setting]
 
 
+#: Signals an interrupted sweep converts into a clean checkpoint-and-
+#: exit: the conventional shell exit code is ``128 + signum`` (130 for
+#: SIGINT, 143 for SIGTERM).
+_INTERRUPT_SIGNALS = tuple(
+    sig for sig in (getattr(signal, "SIGINT", None),
+                    getattr(signal, "SIGTERM", None))
+    if sig is not None)
+
+
+def _install_interrupt_handlers():
+    """Route SIGINT/SIGTERM through :class:`SweepInterrupted`.
+
+    ``SweepInterrupted`` derives from ``BaseException``, so it
+    punches straight through the sweep's per-point retry machinery
+    (which catches ``Exception``) and through the ``ReproError``
+    exit-2 path; ``explore()`` checkpoints the result cache on its
+    way out.  Returns the previous handlers for the paired
+    :func:`_restore_interrupt_handlers`; returns ``None`` (and
+    installs nothing) off the main thread, where CPython forbids
+    ``signal.signal``.
+    """
+    def raise_interrupt(signum, frame):
+        raise SweepInterrupted(signum)
+
+    previous = {}
+    try:
+        for sig in _INTERRUPT_SIGNALS:
+            previous[sig] = signal.signal(sig, raise_interrupt)
+    except ValueError:  # not the main thread
+        _restore_interrupt_handlers(previous)
+        return None
+    return previous
+
+
+def _restore_interrupt_handlers(previous):
+    if not previous:
+        return
+    for sig, handler in previous.items():
+        try:
+            signal.signal(sig, handler)
+        except (ValueError, TypeError):
+            pass
+
+
 def _explore(program: StencilProgram, args) -> int:
     from .explore import ConfigSpace, explore
     from .simulator import parse_link_rate_spec
@@ -436,15 +522,29 @@ def _explore(program: StencilProgram, args) -> int:
         fusions=_parse_transform_axis(args.fusion),
         link_rate_sets=tuple(dict.fromkeys(link_rate_sets)),
     )
-    report = explore(program, space=space, strategy=args.strategy,
-                     beam_width=args.beam, seed=args.seed,
-                     workers=args.workers,
-                     persist=(args.cache is not None
-                              or not args.no_cache_persist),
-                     cache_path=args.cache,
-                     deadlock_window=args.deadlock_window,
-                     point_timeout=args.point_timeout,
-                     checkpoint_every=args.checkpoint_every)
+    previous = _install_interrupt_handlers()
+    try:
+        report = explore(program, space=space, strategy=args.strategy,
+                         beam_width=args.beam, seed=args.seed,
+                         workers=args.workers,
+                         backend=args.backend,
+                         persist=(args.cache is not None
+                                  or not args.no_cache_persist),
+                         cache_path=args.cache,
+                         deadlock_window=args.deadlock_window,
+                         point_timeout=args.point_timeout,
+                         checkpoint_every=args.checkpoint_every)
+    except SweepInterrupted as exc:
+        # explore() already wrote a final checkpoint of the result
+        # cache on its way out; report the conventional signal exit
+        # code (130 for SIGINT, 143 for SIGTERM) instead of dying
+        # with a traceback.
+        print(f"interrupted by signal {exc.signum}; partial results "
+              f"checkpointed to the persistent cache (re-run to "
+              f"resume)", file=sys.stderr)
+        return 128 + exc.signum
+    finally:
+        _restore_interrupt_handlers(previous)
     print("\n".join(report.summary_lines()))
     report.save(args.output)
     print(f"wrote {args.output} ({report.total_points} points, "
@@ -452,6 +552,138 @@ def _explore(program: StencilProgram, args) -> int:
           f"{report.cache_hits} cache hits, "
           f"{report.relowered_programs} analyses built)")
     return 0
+
+
+def _cache_inventory(cache_dir: Path):
+    """What lives under one cache root (explore cache + service runs).
+
+    Returns ``(result_cache_path, quarantine_files, run_dirs,
+    spill_files)`` — the artifact spill is only inventoried when
+    ``REPRO_ARTIFACT_DIR`` points somewhere.
+    """
+    from .lowering.cache import ARTIFACT_DIR_ENV
+    from .service import find_run_dirs
+
+    result_cache = cache_dir / "explore_cache.json"
+    quarantine = []
+    if cache_dir.is_dir():
+        quarantine = sorted(p for p in cache_dir.rglob("*")
+                            if p.is_file() and ".corrupt-" in p.name)
+    run_dirs = list(find_run_dirs(cache_dir / "service"))
+    spill_files = []
+    spill_dir = os.environ.get(ARTIFACT_DIR_ENV)
+    if spill_dir and Path(spill_dir).is_dir():
+        spill_root = Path(spill_dir)
+        spill_files = sorted(p for p in spill_root.iterdir()
+                             if p.is_file() and p.suffix == ".pkl")
+        quarantine.extend(sorted(
+            p for p in spill_root.iterdir()
+            if p.is_file() and ".corrupt-" in p.name))
+    return result_cache, quarantine, run_dirs, spill_files
+
+
+def _cache(args) -> int:
+    from .explore.cache import default_cache_dir
+    from .service.journal import JOURNAL_NAME, JobJournal
+
+    cache_dir = (Path(args.cache_dir).expanduser()
+                 if args.cache_dir is not None else default_cache_dir())
+    result_cache, quarantine, run_dirs, spill_files = \
+        _cache_inventory(cache_dir)
+
+    if args.cache_command == "stats":
+        print(f"cache root: {cache_dir}")
+        if result_cache.is_file():
+            from .explore import ResultCache
+            size = result_cache.stat().st_size
+            try:
+                entries = len(ResultCache.load(result_cache))
+                detail = f"{entries} entries"
+            except Exception as exc:
+                detail = f"unreadable: {exc}"
+            print(f"  explore result cache: {result_cache.name} "
+                  f"({detail}, {size} bytes)")
+        else:
+            print("  explore result cache: absent")
+        lock = result_cache.with_name(result_cache.name + ".lock")
+        if lock.exists():
+            print(f"  lock file present: {lock.name}")
+        if spill_files:
+            total = sum(p.stat().st_size for p in spill_files)
+            print(f"  artifact spill: {len(spill_files)} file(s), "
+                  f"{total} bytes ({spill_files[0].parent})")
+        print(f"  service run dirs: {len(run_dirs)}")
+        for run_dir in run_dirs:
+            state = JobJournal.replay(run_dir / JOURNAL_NAME)
+            shards = len(list(run_dir.glob("shard-*.json")))
+            print(f"    {run_dir.name}: {state.summary()}, "
+                  f"{shards} result shard(s)")
+        print(f"  quarantined files: {len(quarantine)}")
+        for path in quarantine:
+            print(f"    {path}")
+        return 0
+
+    # prune: quarantine leftovers and leftover run dirs always;
+    # the caches themselves only with --all.
+    import shutil
+
+    removed = 0
+    for path in quarantine:
+        try:
+            path.unlink()
+            removed += 1
+            print(f"removed {path}")
+        except OSError as exc:
+            print(f"could not remove {path}: {exc}", file=sys.stderr)
+    for run_dir in run_dirs:
+        if _run_dir_live(run_dir):
+            print(f"kept {run_dir} (live worker)")
+            continue
+        try:
+            shutil.rmtree(run_dir)
+            removed += 1
+            print(f"removed {run_dir}")
+        except OSError as exc:
+            print(f"could not remove {run_dir}: {exc}",
+                  file=sys.stderr)
+    if args.prune_all:
+        targets = [result_cache,
+                   result_cache.with_name(result_cache.name + ".lock")]
+        targets.extend(spill_files)
+        for path in targets:
+            if not path.exists():
+                continue
+            try:
+                path.unlink()
+                removed += 1
+                print(f"removed {path}")
+            except OSError as exc:
+                print(f"could not remove {path}: {exc}",
+                      file=sys.stderr)
+    print(f"pruned {removed} path(s)")
+    return 0
+
+
+def _run_dir_live(run_dir: Path) -> bool:
+    """True when any worker pidfile in ``run_dir`` names a live pid.
+
+    Leftover run dirs normally mean a crashed or killed run (a clean
+    run removes its own dir), but ``prune`` must not delete the
+    journal out from under a sweep that is still in flight.
+    """
+    for pidfile in run_dir.glob("worker-*.pid"):
+        try:
+            pid = int(pidfile.read_text().strip())
+        except (OSError, ValueError):
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue  # dead: the pidfile is leftover
+        except OSError:
+            return True  # exists but not ours (EPERM): live
+        return True
+    return False
 
 
 def _list_programs(args) -> int:

@@ -77,6 +77,35 @@ class ValidationError(StencilFlowError):
     """Functional validation between backends failed."""
 
 
+class ServiceError(StencilFlowError):
+    """The supervised exploration service failed or was misused."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The multiprocess backend could not start (spawn kept failing).
+
+    The explorer catches this and degrades to the in-process thread
+    pool with a warning, so a sweep never fails just because worker
+    processes cannot be spawned.
+    """
+
+
+class SweepInterrupted(BaseException):
+    """A sweep was interrupted by SIGINT/SIGTERM.
+
+    Deliberately *not* a :class:`StencilFlowError` (nor even an
+    ``Exception``): the retry machinery and the CLI's exit-2 handler
+    must never swallow an interrupt.  The explorer catches it only to
+    write a final cache checkpoint and tear down worker processes,
+    then re-raises; the CLI converts it to the conventional
+    ``128 + signum`` exit code (130 for SIGINT, 143 for SIGTERM).
+    """
+
+    def __init__(self, signum: int):
+        self.signum = signum
+        super().__init__(f"interrupted by signal {signum}")
+
+
 #: Public catch-all alias: user code (and the CLI's exit-code-2
 #: handler) can catch every library error under one friendly name.
 ReproError = StencilFlowError

@@ -151,6 +151,34 @@ class ResultCache:
                     adopted += 1
         return adopted
 
+    def adopt_serialized(self, entries: Mapping[str, Mapping],
+                         fresh: bool = True) -> int:
+        """Adopt already-keyed JSON entries (a worker shard's content).
+
+        The supervised multiprocess backend compacts per-worker
+        ``ResultCache`` shards through this: shard files map entry
+        keys straight to measurement JSON.  Existing entries win;
+        with ``fresh`` the adopted keys count as this process's own
+        when the capped persistent save trims (shard measurements
+        were just paid for).  Unparseable entries are skipped — a
+        half-written shard from a killed worker must not poison the
+        compaction.  Returns the number of entries adopted.
+        """
+        adopted = 0
+        with self._lock:
+            for key, spec in entries.items():
+                if key in self._entries:
+                    continue
+                try:
+                    entry = Measurement.from_json(spec)
+                except Exception:
+                    continue
+                self._entries[key] = entry
+                if fresh:
+                    self._fresh.add(key)
+                adopted += 1
+        return adopted
+
     # -- persistence ---------------------------------------------------------
 
     @classmethod
@@ -175,12 +203,8 @@ class ResultCache:
         return cache
 
     def save(self, path):
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        with open(tmp, "w") as handle:
-            json.dump(self.to_json(), handle, indent=2)
-        os.replace(tmp, path)
+        from ..faults.store import write_json_atomic
+        write_json_atomic(path, self.to_json())
 
     @classmethod
     def load(cls, path) -> "ResultCache":

@@ -19,7 +19,13 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.program import StencilProgram
-from ..errors import DeadlockError, StencilFlowError
+from ..errors import (
+    DeadlockError,
+    DefinitionError,
+    ServiceUnavailable,
+    StencilFlowError,
+    SweepInterrupted,
+)
 from ..hardware.platform import FPGAPlatform, STRATIX10
 from ..lowering import default_cache as lowering_cache
 from ..simulator.engine import (
@@ -39,6 +45,9 @@ from .space import ConfigPoint, ConfigSpace
 
 #: Default parallelism of the simulation stage.
 _DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
+
+#: Validation backends the simulation stage offers.
+BACKENDS = ("thread", "process")
 
 
 def default_inputs(program: StencilProgram,
@@ -76,7 +85,9 @@ def explore(program: StencilProgram,
             point_timeout: Optional[float] = None,
             retries: int = 1,
             retry_backoff: float = 0.25,
-            checkpoint_every: int = 16) -> ExplorationReport:
+            checkpoint_every: int = 16,
+            backend: str = "thread",
+            service=None) -> ExplorationReport:
     """Sweep ``program``'s design space and rank what survives.
 
     Args:
@@ -119,7 +130,22 @@ def explore(program: StencilProgram,
         checkpoint_every: with ``persist``, write the result cache to
             disk every this many completed points, so a killed sweep
             resumes from its partial results on the next run.
+        backend: ``"thread"`` (in-process pool, the default) or
+            ``"process"`` — the supervised multiprocess service
+            (:mod:`repro.service`): leased job batches, worker
+            heartbeats, crash-loop quarantine.  Identical reports on
+            fault-free sweeps; the process backend additionally
+            survives hard worker crashes (native OOM, segfault,
+            SIGKILL) and reclaims timed-out workers.  If worker
+            processes cannot be spawned, the sweep degrades to the
+            thread backend with a warning.
+        service: optional :class:`repro.service.ServiceConfig`
+            overriding the process backend's supervision tunables.
     """
+    if backend not in BACKENDS:
+        raise DefinitionError(
+            f"unknown explore backend {backend!r} "
+            f"(expected one of {', '.join(BACKENDS)})")
     start = time.perf_counter()
     space = space or ConfigSpace.default_for(program, platform)
     cache = cache if cache is not None else ResultCache()
@@ -158,15 +184,24 @@ def explore(program: StencilProgram,
         inputs = default_inputs(program, seed)
     checkpoint = (lambda: cache.save_persistent(cache_path)) \
         if persist else None
-    measurements, failures = _simulate_frontier(
-        pruner, [by_point[p] for p in selected], inputs,
-        engine_mode, cache, workers,
-        deadlock_window=deadlock_window,
-        point_timeout=point_timeout,
-        retries=retries,
-        retry_backoff=retry_backoff,
-        checkpoint_every=checkpoint_every,
-        checkpoint=checkpoint)
+    frontier = [by_point[p] for p in selected]
+    try:
+        measurements, failures = _run_backend(
+            backend, pruner, program, platform, frontier, inputs,
+            engine_mode, cache, workers, service,
+            deadlock_window=deadlock_window,
+            point_timeout=point_timeout,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            checkpoint_every=checkpoint_every,
+            checkpoint=checkpoint)
+    except (KeyboardInterrupt, SweepInterrupted):
+        # Die cleanly: a final checkpoint makes the interrupted
+        # sweep resumable, then the interrupt keeps propagating (the
+        # CLI maps it to exit 130/143).
+        if persist:
+            cache.save_persistent(cache_path)
+        raise
 
     # Stage 4: assemble, rank, and mark the Pareto frontier.
     lowering_hits1, relowered1 = artifacts.stats("analysis")
@@ -196,6 +231,38 @@ def _machine_key(prediction: Prediction) -> Tuple:
     """Full identity of the simulated machine: lowered program family
     plus machine tunables."""
     return (prediction.family_hash, prediction.simulation_key)
+
+
+def _run_backend(backend, pruner, program, platform, frontier,
+                 inputs, engine_mode, cache, workers, service,
+                 **kwargs):
+    """Dispatch the simulation stage to the selected backend.
+
+    The process backend degrades gracefully: when worker processes
+    cannot be spawned at all (restricted sandboxes, exhausted pids),
+    the sweep falls back to the in-process thread pool with a
+    warning rather than failing — any measurements the service
+    completed first are already in ``cache`` and are simply reused.
+    """
+    if backend == "process":
+        from ..service import ServiceConfig
+        from ..service.supervisor import simulate_frontier_supervised
+        config = service or ServiceConfig()
+        if config.workers is None:
+            from dataclasses import replace
+            config = replace(config,
+                             workers=workers or _DEFAULT_WORKERS)
+        try:
+            return simulate_frontier_supervised(
+                program, platform, frontier, inputs, engine_mode,
+                cache, config, **kwargs)
+        except ServiceUnavailable as exc:
+            import sys
+            print(f"warning: process backend unavailable ({exc}); "
+                  f"falling back to the thread backend",
+                  file=sys.stderr)
+    return _simulate_frontier(pruner, frontier, inputs, engine_mode,
+                              cache, workers, **kwargs)
 
 
 class _PointFailed(Exception):

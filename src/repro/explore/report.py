@@ -22,9 +22,12 @@ class PointFailure:
     ``kind`` is ``"deadlock"`` (the machine wedged — ``detail``
     carries the structured
     :class:`~repro.faults.forensics.DeadlockReport` as JSON),
-    ``"timeout"`` (the per-point wall budget elapsed), or ``"error"``
-    (the simulation raised).  ``attempts`` counts tries including
-    retries.
+    ``"timeout"`` (the per-point wall budget elapsed), ``"error"``
+    (the simulation raised), or — process backend only —
+    ``"poisoned"`` (the point killed its worker process
+    ``attempts`` times and was quarantined as a crash loop instead
+    of being retried forever).  ``attempts`` counts tries including
+    retries; for poisoned points it counts worker deaths.
     """
 
     kind: str

@@ -11,10 +11,13 @@ The resilience contract of every on-disk cache in this repo
   inspection);
 * **lock cross-process merges** — :class:`FileLock` serializes
   read-merge-write cycles between processes via ``fcntl.flock`` on a
-  sidecar lockfile, degrading to unlocked best-effort operation when
-  locking is unavailable (unsupported platform, unwritable
-  directory, timeout) — the atomic-replace write keeps even the
-  unlocked race torn-file-free.
+  sidecar lockfile; without ``fcntl`` it falls back to an
+  ``O_CREAT|O_EXCL`` pid lockfile with stale-lock breaking (a lock
+  whose owner pid is dead is removed and re-taken), so merge-on-save
+  is serialized on every platform.  Only a genuinely unacquirable
+  lock (unwritable directory, timeout against a live holder)
+  degrades to unlocked best-effort operation — the atomic-replace
+  write keeps even the unlocked race torn-file-free.
 """
 
 from __future__ import annotations
@@ -30,6 +33,26 @@ try:
     import fcntl
 except ImportError:  # non-POSIX: degrade to unlocked operation
     fcntl = None
+
+
+def write_json_atomic(path, data, indent: int = 2,
+                      fsync: bool = True):
+    """Write ``data`` as JSON via write-temp-then-replace.
+
+    The temp name embeds the pid so concurrent writers never collide;
+    with ``fsync`` the content is forced to stable storage before the
+    rename, so a crash straddling the write leaves either the old
+    complete file or the new complete file — never a torn one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w") as handle:
+        json.dump(data, handle, indent=indent)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 def quarantine_file(path, reason: str = "",
@@ -94,10 +117,19 @@ def read_json_guarded(path, expect: type = dict,
 class FileLock:
     """Advisory cross-process lock on a sidecar lockfile.
 
-    Best-effort by design: when locking is unavailable or acquisition
-    times out, the context manager enters anyway with
-    :attr:`locked` False — callers keep their atomic-replace writes,
-    losing only the merge serialization (the pre-lock behaviour).
+    With ``fcntl`` available the lock is a ``flock`` on the (never
+    removed) sidecar file.  Without it — non-POSIX platforms — the
+    sidecar itself is the lock: it is created with
+    ``O_CREAT | O_EXCL`` holding the owner's pid, and released by
+    unlinking.  A contender that finds the file but whose recorded
+    owner is no longer alive breaks the stale lock and re-takes it,
+    so a crashed holder cannot wedge every later merge.
+
+    Best-effort by design: when acquisition fails (unwritable
+    directory, timeout against a live holder), the context manager
+    enters anyway with :attr:`locked` False — callers keep their
+    atomic-replace writes, losing only the merge serialization (the
+    pre-lock behaviour).
     """
 
     def __init__(self, path, timeout: float = 10.0,
@@ -107,12 +139,21 @@ class FileLock:
         self.poll = poll
         self.locked = False
         self._handle = None
+        self._owns_file = False
 
     def acquire(self) -> bool:
-        if fcntl is None or self.locked:
-            return self.locked
+        if self.locked:
+            return True
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        if fcntl is not None:
+            return self._acquire_flock()
+        return self._acquire_exclusive_create()
+
+    def _acquire_flock(self) -> bool:
+        try:
             handle = open(self.path, "a+")
         except OSError:
             return False
@@ -130,8 +171,63 @@ class FileLock:
                     return False
                 time.sleep(self.poll)
 
+    def _acquire_exclusive_create(self) -> bool:
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_stale()
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(self.poll)
+                continue
+            except OSError:
+                return False
+            try:
+                os.write(fd, str(os.getpid()).encode())
+            except OSError:
+                pass
+            finally:
+                os.close(fd)
+            self._owns_file = True
+            self.locked = True
+            return True
+
+    def _break_stale(self):
+        """Remove the lockfile when its recorded owner is dead.
+
+        An unreadable or pid-less lockfile is treated as stale too (a
+        holder crashed between create and write).  The unlink races
+        benignly: if another contender breaks and re-takes the lock
+        first, this unlink may remove *their* fresh lockfile, which
+        degrades that window to the documented best-effort behaviour
+        rather than deadlocking on a lock nobody holds.
+        """
+        try:
+            text = self.path.read_text().strip()
+            pid = int(text) if text else 0
+        except (OSError, ValueError):
+            pid = 0
+        if pid > 0 and pid != os.getpid():
+            try:
+                os.kill(pid, 0)
+                return  # owner is alive: the lock is genuinely held
+            except ProcessLookupError:
+                pass  # owner is dead: stale
+            except OSError:
+                return  # EPERM etc.: some live process owns the pid
+        elif pid == os.getpid():
+            return  # our own (other FileLock instance): genuinely held
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
     def release(self):
         handle, self._handle = self._handle, None
+        owned, self._owns_file = self._owns_file, False
         self.locked = False
         if handle is not None:
             try:
@@ -139,6 +235,11 @@ class FileLock:
             except OSError:
                 pass
             handle.close()
+        if owned:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
 
     def __enter__(self) -> "FileLock":
         self.acquire()

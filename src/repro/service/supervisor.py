@@ -1,0 +1,645 @@
+"""The supervisor: leased, heartbeat-monitored multiprocess sweeps.
+
+``explore(..., backend="process")`` lands here.  The supervisor
+shards the pruned frontier into leased job batches, spawns
+*spawn*-context worker processes (:mod:`repro.service.worker`), and
+runs a control loop that:
+
+* drains worker pipes — results, failures, heartbeats;
+* reaps workers whose process died, whose heartbeat lapsed, or whose
+  lease expired, SIGKILLing stragglers;
+* recovers already-durable measurements from a dead worker's shard
+  before re-enqueueing the rest of its lease;
+* charges the in-progress job one *death* per crash and quarantines
+  it as **poisoned** once it crosses the crash-loop threshold
+  (default: two dead workers), instead of retrying forever;
+* respawns workers up to a restart budget, and — unlike the thread
+  backend, whose timed-out workers can only be abandoned — actually
+  reclaims the pool on a per-point timeout by killing the worker;
+* compacts per-worker result shards into the shared cache at the
+  end, and removes the run directory on clean completion.
+
+Every transition is journaled (:mod:`repro.service.journal`).  If
+worker processes cannot be spawned at all, :class:`ServiceUnavailable`
+propagates and the explorer degrades to the thread backend with a
+warning — completed measurements are already in the cache, so the
+fallback resumes rather than restarts.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import shutil
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ServiceUnavailable
+from ..explore.cache import Measurement, ResultCache, default_cache_dir
+from ..explore.report import PointFailure
+from ..faults.store import read_json_guarded
+from ..simulator.engine import SimulatorConfig, resolve_engine_mode
+from .journal import JOURNAL_NAME, JobJournal, new_run_dir
+from .lease import Job, LeaseTable
+from .worker import worker_main
+
+#: Environment knob: keep the run directory (journal, shards,
+#: pidfiles) after a clean completion, for inspection and the CI
+#: chaos check.
+KEEP_RUNDIR_ENV = "REPRO_SERVICE_KEEP_RUNDIR"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the supervised multiprocess backend.
+
+    Attributes:
+        workers: worker-process count (``None``: the explorer's
+            default parallelism).
+        batch_size: jobs per lease (``None``: sized so every worker
+            gets several leases — small enough that a lost lease
+            costs little, large enough to amortize the pipe).
+        lease_ttl: seconds a lease stays valid without a heartbeat
+            renewing it.
+        heartbeat_interval: worker pulse period.
+        heartbeat_timeout: silence after which a worker is presumed
+            wedged and reaped (covers spawn import time, so keep it
+            comfortably above a cold interpreter start).
+        max_worker_restarts: total respawn budget across the run
+            (``None``: ``2 * workers + 2``).
+        max_point_deaths: worker deaths a single point may cause
+            before it is quarantined as poisoned.
+        spawn_attempts: consecutive spawn failures tolerated before
+            the service declares itself unavailable.
+        run_root: where run directories live (``None``:
+            ``<cache dir>/service``).
+        keep_run_dir: keep the run directory after clean completion
+            (``None``: honour ``REPRO_SERVICE_KEEP_RUNDIR``).
+        poll: control-loop wait granularity, seconds.
+        join_timeout: grace period for worker shutdown before
+            SIGKILL.
+    """
+
+    workers: Optional[int] = None
+    batch_size: Optional[int] = None
+    lease_ttl: float = 60.0
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 15.0
+    max_worker_restarts: Optional[int] = None
+    max_point_deaths: int = 2
+    spawn_attempts: int = 3
+    run_root: Optional[Path] = None
+    keep_run_dir: Optional[bool] = None
+    poll: float = 0.05
+    join_timeout: float = 5.0
+
+    def resolved_run_root(self) -> Path:
+        if self.run_root is not None:
+            return Path(self.run_root)
+        return default_cache_dir() / "service"
+
+    def resolved_keep_run_dir(self) -> bool:
+        if self.keep_run_dir is not None:
+            return self.keep_run_dir
+        return bool(os.environ.get(KEEP_RUNDIR_ENV))
+
+
+class _WorkerHandle:
+    """Supervisor-side state of one live worker process."""
+
+    def __init__(self, worker_id: int, process, conn,
+                 shard_path: Path, pidfile: Path, now: float):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.shard_path = shard_path
+        self.pidfile = pidfile
+        self.lease = None
+        self.last_beat = now
+
+
+def _machine_key(prediction) -> Tuple:
+    """Same identity the thread backend dedups and keys results by."""
+    return (prediction.family_hash, prediction.simulation_key)
+
+
+class Supervisor:
+    """One supervised sweep over a frontier of predictions."""
+
+    def __init__(self, program, platform, predictions, inputs,
+                 engine_mode: str, cache: ResultCache,
+                 config: ServiceConfig,
+                 deadlock_window: Optional[int] = None,
+                 point_timeout: Optional[float] = None,
+                 retries: int = 1, retry_backoff: float = 0.25,
+                 checkpoint_every: int = 16, checkpoint=None):
+        self.program = program
+        self.platform = platform
+        self.inputs = inputs
+        self.engine_mode = engine_mode
+        self.cache = cache
+        self.cfg = config
+        self.deadlock_window = deadlock_window
+        self.point_timeout = point_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint = checkpoint
+
+        self.resolved_engine = resolve_engine_mode(
+            SimulatorConfig(engine_mode=engine_mode))
+        # Dedup identical machines exactly like the thread backend.
+        distinct: Dict[Tuple, object] = {}
+        for prediction in predictions:
+            distinct.setdefault(_machine_key(prediction), prediction)
+        self.distinct = distinct
+
+        self.outcomes: Dict[Tuple, Tuple[Measurement, bool]] = {}
+        self.failures: Dict[Tuple, PointFailure] = {}
+        self._completed = 0
+
+        self._ctx = multiprocessing.get_context("spawn")
+        self._queue: deque = deque()
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._leases: Optional[LeaseTable] = None
+        self._unresolved: set = set()
+        self._jobs_by_id: Dict[int, Job] = {}
+        self._worker_ids = 0
+        self._restarts_used = 0
+        self._spawn_failures = 0
+        self._run_dir: Optional[Path] = None
+        self._journal: Optional[JobJournal] = None
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self) -> Tuple[Dict[Tuple, Tuple[Measurement, bool]],
+                           Dict[Tuple, PointFailure]]:
+        """Drain the frontier; always returns complete bookkeeping.
+
+        Every distinct machine ends in exactly one of ``outcomes``
+        (measured, possibly from the cache) or ``failures``
+        (deadlocked, errored, timed out, poisoned, or out of restart
+        budget).
+        """
+        self._probe_cache()
+        if not self._queue:
+            return self.outcomes, self.failures
+
+        self._run_dir = new_run_dir(self.cfg.resolved_run_root())
+        self._journal = JobJournal(self._run_dir / JOURNAL_NAME)
+        self._journal.append(
+            "run_started", program=self.program.name,
+            engine=self.resolved_engine, jobs=len(self._queue),
+            workers=self._target_workers(), pid=os.getpid())
+        for job in self._queue:
+            self._journal.append("job_enqueued", job=job.job_id,
+                                 point=job.prediction.point.label(),
+                                 entry_key=job.entry_key)
+
+        clean = False
+        try:
+            self._spawn_up_to(self._target_workers())
+            while self._unresolved:
+                self._pump()
+            self._journal.append(
+                "run_completed",
+                completed=len(self.outcomes) - self._cache_hits,
+                failed=len(self.failures), cache_hits=self._cache_hits)
+            clean = True
+        except BaseException:
+            if self._journal is not None:
+                self._journal.append("run_aborted")
+            raise
+        finally:
+            self._teardown(clean)
+        return self.outcomes, self.failures
+
+    # -- setup ----------------------------------------------------------------
+
+    def _target_workers(self) -> int:
+        want = self.cfg.workers or 1
+        return max(1, min(want, len(self._queue) or 1))
+
+    def _batch_size(self) -> int:
+        if self.cfg.batch_size:
+            return self.cfg.batch_size
+        jobs, workers = len(self._jobs_by_id), self._target_workers()
+        return max(1, min(8, math.ceil(jobs / (2 * workers))))
+
+    def _probe_cache(self):
+        """Resolve cache hits locally; queue the misses as jobs."""
+        self._cache_hits = 0
+        job_id = 0
+        for key, prediction in self.distinct.items():
+            sim_key = (self.resolved_engine,) + prediction.simulation_key
+            cached = self.cache.get(prediction.family_hash, sim_key)
+            if cached is not None:
+                self.outcomes[key] = (cached, True)
+                self._cache_hits += 1
+                self._note_done()
+                continue
+            job_id += 1
+            job = Job(job_id=job_id, prediction=prediction,
+                      entry_key=ResultCache.entry_key(
+                          prediction.family_hash, sim_key))
+            self._jobs_by_id[job_id] = job
+            self._queue.append(job)
+            self._unresolved.add(job_id)
+        self._leases = LeaseTable(
+            ttl=self.cfg.lease_ttl,
+            max_point_deaths=self.cfg.max_point_deaths)
+
+    def _spawn_up_to(self, count: int):
+        while len(self._workers) < count:
+            self._spawn_worker()
+
+    def _spawn_worker(self):
+        self._worker_ids += 1
+        worker_id = self._worker_ids
+        shard_path = self._run_dir / f"shard-{worker_id}.json"
+        pidfile = self._run_dir / f"worker-{worker_id}.pid"
+        payload = {
+            "program": self.program,
+            "platform": self.platform,
+            "inputs": self.inputs,
+            "engine_mode": self.engine_mode,
+            "resolved_engine": self.resolved_engine,
+            "deadlock_window": self.deadlock_window,
+            "retries": self.retries,
+            "retry_backoff": self.retry_backoff,
+            "heartbeat_interval": self.cfg.heartbeat_interval,
+            "shard_path": str(shard_path),
+            "pidfile": str(pidfile),
+        }
+        try:
+            ours, theirs = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=worker_main, args=(theirs, worker_id, payload),
+                name=f"repro-explore-worker-{worker_id}",
+                daemon=True)
+            process.start()
+            theirs.close()
+        except Exception as exc:
+            self._spawn_failures += 1
+            self._journal.append("worker_spawn_failed",
+                                 worker=worker_id,
+                                 error=f"{type(exc).__name__}: {exc}")
+            if not self._workers and \
+                    self._spawn_failures >= self.cfg.spawn_attempts:
+                raise ServiceUnavailable(
+                    f"could not spawn worker processes "
+                    f"({self._spawn_failures} consecutive failures, "
+                    f"last: {type(exc).__name__}: {exc})")
+            return
+        self._spawn_failures = 0
+        now = time.monotonic()
+        self._workers[worker_id] = _WorkerHandle(
+            worker_id, process, ours, shard_path, pidfile, now)
+        self._journal.append("worker_spawned", worker=worker_id,
+                             pid=process.pid)
+
+    # -- the control loop -----------------------------------------------------
+
+    def _pump(self):
+        self._drain_messages()
+        now = time.monotonic()
+        self._check_workers(now)
+        self._assign(now)
+        if self._unresolved and not self._workers:
+            # Everyone is dead and nothing is in flight: either the
+            # budget buys a respawn or the rest of the queue fails.
+            if self._restarts_used < self._max_restarts():
+                self._restarts_used += 1
+                self._spawn_worker()
+                if not self._workers and \
+                        self._spawn_failures >= self.cfg.spawn_attempts:
+                    self._fail_remaining("worker processes cannot be "
+                                         "spawned")
+            else:
+                self._fail_remaining("worker restart budget "
+                                     "exhausted")
+
+    def _max_restarts(self) -> int:
+        if self.cfg.max_worker_restarts is not None:
+            return self.cfg.max_worker_restarts
+        return 2 * self._target_workers() + 2
+
+    def _drain_messages(self):
+        conns = {handle.conn: handle
+                 for handle in self._workers.values()}
+        if not conns:
+            time.sleep(self.cfg.poll)
+            return
+        try:
+            ready = connection.wait(list(conns), timeout=self.cfg.poll)
+        except OSError:
+            return
+        for conn in ready:
+            handle = conns[conn]
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    break  # dead pipe: the exitcode check reaps it
+                self._handle_message(handle, message)
+
+    def _handle_message(self, handle: _WorkerHandle, message: dict):
+        kind = message.get("type")
+        now = time.monotonic()
+        if kind == "heartbeat":
+            handle.last_beat = now
+            if handle.lease is not None:
+                handle.lease.renew(self.cfg.lease_ttl, now)
+            return
+        if kind == "job_started":
+            if handle.lease is not None:
+                handle.lease.note_started(message["job_id"], now)
+            handle.last_beat = now
+            self._journal.append("job_started",
+                                 job=message["job_id"],
+                                 worker=handle.worker_id)
+            return
+        if kind == "result":
+            job = self._jobs_by_id.get(message["job_id"])
+            if job is None or job.job_id not in self._unresolved:
+                return
+            measurement = Measurement.from_json(message["measurement"])
+            self._resolve_measurement(job, measurement)
+            if handle.lease is not None:
+                handle.lease.note_resolved(job.job_id)
+            handle.last_beat = now
+            return
+        if kind == "failed":
+            job = self._jobs_by_id.get(message["job_id"])
+            if job is None or job.job_id not in self._unresolved:
+                return
+            failure = PointFailure.from_json(message["failure"])
+            self._resolve_failure(job, failure, "job_failed")
+            if handle.lease is not None:
+                handle.lease.note_resolved(job.job_id)
+            handle.last_beat = now
+            return
+        if kind == "lease_done":
+            lease = handle.lease
+            if lease is not None \
+                    and lease.lease_id == message.get("lease_id"):
+                # Defensive: anything the worker skipped goes back.
+                for job in lease.outstanding:
+                    self._requeue(job)
+                self._leases.release(lease.lease_id)
+                handle.lease = None
+                self._journal.append("lease_released",
+                                     lease=message["lease_id"],
+                                     worker=handle.worker_id)
+            handle.last_beat = now
+
+    def _resolve_measurement(self, job: Job, measurement: Measurement,
+                             recovered: bool = False):
+        key = _machine_key(job.prediction)
+        self.outcomes[key] = (measurement, False)
+        self.cache.put(job.prediction.family_hash,
+                       (self.resolved_engine,)
+                       + job.prediction.simulation_key,
+                       measurement)
+        self._unresolved.discard(job.job_id)
+        self._journal.append("job_completed", job=job.job_id,
+                             cycles=measurement.simulated_cycles,
+                             recovered=recovered)
+        self._note_done()
+
+    def _resolve_failure(self, job: Job, failure: PointFailure,
+                         event: str):
+        self.failures[_machine_key(job.prediction)] = failure
+        self._unresolved.discard(job.job_id)
+        self._journal.append(event, job=job.job_id,
+                             kind=failure.kind,
+                             message=failure.message,
+                             attempts=failure.attempts)
+        self._note_done()
+
+    def _requeue(self, job: Job):
+        self._queue.appendleft(job)
+        self._journal.append("job_requeued", job=job.job_id,
+                             deaths=job.deaths)
+
+    def _note_done(self):
+        self._completed += 1
+        if self.checkpoint is not None and self.checkpoint_every > 0 \
+                and self._completed % self.checkpoint_every == 0:
+            self.checkpoint()
+
+    # -- supervision ----------------------------------------------------------
+
+    def _check_workers(self, now: float):
+        for handle in list(self._workers.values()):
+            lease = handle.lease
+            if handle.process.exitcode is not None:
+                self._reap(handle, "worker exited "
+                           f"(code {handle.process.exitcode})")
+            elif lease is not None and lease.current_overdue(
+                    self.point_timeout, now):
+                self._reap(handle, "point timeout",
+                           timeout_job_id=lease.current_job_id)
+            elif now - handle.last_beat > self.cfg.heartbeat_timeout:
+                self._reap(handle, "heartbeat lapsed")
+            elif lease is not None and lease.expired(now):
+                self._reap(handle, "lease expired")
+
+    def _reap(self, handle: _WorkerHandle, reason: str,
+              timeout_job_id: Optional[int] = None):
+        """Kill a misbehaving worker and settle its lease."""
+        try:
+            handle.process.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+        handle.process.join(self.cfg.join_timeout)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        self._journal.append("worker_dead", worker=handle.worker_id,
+                             reason=reason)
+        self._workers.pop(handle.worker_id, None)
+        try:
+            handle.pidfile.unlink()
+        except OSError:
+            pass
+
+        lease = handle.lease
+        if lease is not None:
+            # A measurement the worker sharded but never acked is
+            # done work — recover it instead of repeating it.
+            shard = read_json_guarded(handle.shard_path, quiet=True) \
+                or {}
+            for job in lease.outstanding:
+                spec = shard.get(job.entry_key)
+                if spec is None:
+                    continue
+                try:
+                    measurement = Measurement.from_json(spec)
+                except Exception:
+                    continue
+                self._resolve_measurement(job, measurement,
+                                          recovered=True)
+                lease.note_resolved(job.job_id)
+            if timeout_job_id is not None \
+                    and timeout_job_id in self._unresolved:
+                job = self._jobs_by_id[timeout_job_id]
+                self._resolve_failure(job, PointFailure(
+                    kind="timeout",
+                    message=f"simulation exceeded the per-point "
+                            f"budget of {self.point_timeout:g}s"),
+                    "job_failed")
+                lease.note_resolved(timeout_job_id)
+            requeue, culprit, poisoned = \
+                self._leases.forfeit(lease.lease_id)
+            handle.lease = None
+            for job in poisoned:
+                self._resolve_failure(job, PointFailure(
+                    kind="poisoned",
+                    message=f"point killed its worker "
+                            f"{job.deaths} times (last: {reason}); "
+                            f"quarantined as a crash loop",
+                    attempts=job.deaths), "job_poisoned")
+            for job in reversed(requeue):
+                self._requeue(job)
+
+        # Replace the worker while budget remains and work exists.
+        if self._unresolved and \
+                self._restarts_used < self._max_restarts():
+            self._restarts_used += 1
+            self._spawn_worker()
+
+    def _assign(self, now: float):
+        for handle in self._workers.values():
+            if handle.lease is not None or not self._queue:
+                continue
+            batch = [self._queue.popleft()
+                     for _ in range(min(self._batch_size(),
+                                        len(self._queue)))]
+            if not batch:
+                continue
+            lease = self._leases.grant(handle.worker_id, batch, now)
+            handle.lease = lease
+            self._journal.append(
+                "lease_granted", lease=lease.lease_id,
+                worker=handle.worker_id,
+                jobs=[job.job_id for job in batch],
+                deadline=lease.deadline)
+            try:
+                handle.conn.send({
+                    "type": "jobs", "lease_id": lease.lease_id,
+                    "jobs": [{"job_id": job.job_id,
+                              "prediction": job.prediction,
+                              "entry_key": job.entry_key}
+                             for job in batch]})
+            except (OSError, ValueError, BrokenPipeError):
+                # Worker died between poll and send; settle it now.
+                self._reap(handle, "pipe closed on lease grant")
+
+    def _fail_remaining(self, why: str):
+        while self._queue:
+            job = self._queue.popleft()
+            if job.job_id not in self._unresolved:
+                continue
+            self._resolve_failure(job, PointFailure(
+                kind="error",
+                message=f"{why} (after {job.deaths} worker "
+                        f"death(s) on this point)",
+                attempts=max(1, job.deaths)), "job_failed")
+        # No workers, no queue: anything still unresolved (a lease
+        # that leaked a job) must also terminate, or the control loop
+        # would spin forever on an unreachable point.
+        for job_id in sorted(self._unresolved):
+            self._resolve_failure(self._jobs_by_id[job_id],
+                                  PointFailure(kind="error",
+                                               message=why,
+                                               attempts=1),
+                                  "job_failed")
+
+    # -- teardown -------------------------------------------------------------
+
+    def _teardown(self, clean: bool):
+        for handle in list(self._workers.values()):
+            try:
+                handle.conn.send({"type": "shutdown"})
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + self.cfg.join_timeout
+        for handle in list(self._workers.values()):
+            handle.process.join(max(0.0,
+                                    deadline - time.monotonic()))
+            if handle.process.exitcode is None:
+                try:
+                    handle.process.kill()
+                except (OSError, ValueError):
+                    pass
+                handle.process.join(self.cfg.join_timeout)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+        self._compact_shards()
+        if self._journal is not None:
+            self._journal.close()
+        if clean and self._run_dir is not None \
+                and not self.cfg.resolved_keep_run_dir():
+            shutil.rmtree(self._run_dir, ignore_errors=True)
+
+    def _compact_shards(self):
+        """Fold per-worker shards into the shared result cache.
+
+        This is the "per-worker shards + compaction" half of the
+        concurrency story: workers never touch the shared persistent
+        file, so there is nothing to lock while the sweep runs; one
+        compaction at the end (plus the explorer's ordinary
+        save-persistent) publishes everything.
+        """
+        if self._run_dir is None:
+            return
+        adopted = 0
+        for shard_path in sorted(self._run_dir.glob("shard-*.json")):
+            data = read_json_guarded(shard_path, quiet=True)
+            if isinstance(data, dict):
+                adopted += self.cache.adopt_serialized(data)
+        if self._journal is not None and adopted:
+            self._journal.append("shards_compacted", adopted=adopted)
+
+
+def simulate_frontier_supervised(
+        program, platform, predictions: Sequence, inputs,
+        engine_mode: str, cache: ResultCache,
+        config: Optional[ServiceConfig] = None,
+        deadlock_window: Optional[int] = None,
+        point_timeout: Optional[float] = None,
+        retries: int = 1, retry_backoff: float = 0.25,
+        checkpoint_every: int = 16, checkpoint=None
+) -> Tuple[Dict[Tuple, Tuple[Measurement, bool]],
+           Dict[Tuple, PointFailure]]:
+    """Measure a frontier on the supervised multiprocess backend.
+
+    Drop-in sibling of the explorer's thread-pool
+    ``_simulate_frontier``: same return shape, same failure
+    taxonomy, same cache keys — the report built from either backend
+    is identical on a fault-free run.  Raises
+    :class:`~repro.errors.ServiceUnavailable` when worker processes
+    cannot be spawned at all (the explorer then falls back to
+    threads; measurements completed before the failure are already
+    in ``cache``, so nothing is lost).
+    """
+    supervisor = Supervisor(
+        program, platform, predictions, inputs, engine_mode, cache,
+        config or ServiceConfig(),
+        deadlock_window=deadlock_window,
+        point_timeout=point_timeout,
+        retries=retries, retry_backoff=retry_backoff,
+        checkpoint_every=checkpoint_every, checkpoint=checkpoint)
+    return supervisor.run()

@@ -157,6 +157,83 @@ class TestExploreCommand:
                      str(report_path)]) == 0
         assert json.loads(report_path.read_text())["program"] == "lst1"
 
+    def test_explore_process_backend(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["explore", "--program", "laplace2d",
+                     "--shape", "16,16", "--widths", "1,2",
+                     "--backend", "process", "--workers", "2",
+                     "--output", str(report_path)]) == 0
+        assert "explored laplace2d" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["summary"]["simulated_points"] == 2
+        assert report["summary"]["failed_points"] == 0
+
+    def test_explore_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explore", "--program", "laplace2d",
+                  "--backend", "smoke-signals"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_root(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"cache root: {tmp_path}" in out
+        assert "explore result cache: absent" in out
+        assert "service run dirs: 0" in out
+        assert "quarantined files: 0" in out
+
+    def test_stats_after_sweep_counts_entries(self, tmp_path,
+                                              capsys):
+        # conftest points REPRO_CACHE_DIR at a per-test directory, so
+        # a default (persistent) sweep populates exactly that root.
+        import os
+        root = os.environ["REPRO_CACHE_DIR"]
+        assert main(["explore", "--program", "laplace2d", "--shape",
+                     "16,16", "--widths", "1,2", "--output",
+                     str(tmp_path / "r.json")]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert f"cache root: {root}" in out
+        assert "explore result cache: explore_cache.json " \
+               "(2 entries" in out
+
+    def test_prune_removes_quarantine_and_dead_run_dirs(
+            self, tmp_path, capsys):
+        from repro.service.journal import JOURNAL_NAME, new_run_dir
+        (tmp_path / "explore_cache.json.corrupt-123").write_text("x")
+        run_dir = new_run_dir(tmp_path / "service")
+        (run_dir / JOURNAL_NAME).write_text("")
+        (run_dir / "worker-1.pid").write_text("999999999")  # dead pid
+        assert main(["cache", "prune", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "pruned 2 path(s)" in capsys.readouterr().out
+        assert not run_dir.exists()
+        assert not any(".corrupt-" in p.name
+                       for p in tmp_path.iterdir())
+
+    def test_prune_keeps_live_run_dirs(self, tmp_path, capsys):
+        import os
+        from repro.service.journal import JOURNAL_NAME, new_run_dir
+        run_dir = new_run_dir(tmp_path / "service")
+        (run_dir / JOURNAL_NAME).write_text("")
+        (run_dir / "worker-1.pid").write_text(str(os.getpid()))
+        assert main(["cache", "prune", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "kept" in capsys.readouterr().out
+        assert run_dir.exists()
+
+    def test_prune_all_removes_the_cache_itself(self, tmp_path,
+                                                capsys):
+        cache_file = tmp_path / "explore_cache.json"
+        cache_file.write_text("{}")
+        assert main(["cache", "prune", "--all", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert not cache_file.exists()
+
 
 class TestLinkRateOverrides:
     def test_run_with_per_link_rate(self, program_file, capsys):

@@ -240,6 +240,67 @@ class TestStorePrimitives:
         assert FileLock(path, timeout=0.5).acquire()
 
 
+class TestFileLockFallback:
+    """The ``O_CREAT|O_EXCL`` pid-lockfile path used when ``fcntl``
+    is unavailable (non-POSIX platforms): it must actually lock —
+    before this path existed, no-``fcntl`` platforms silently ran
+    every merge unlocked."""
+
+    @pytest.fixture(autouse=True)
+    def _no_fcntl(self, monkeypatch):
+        from repro.faults import store
+        monkeypatch.setattr(store, "fcntl", None)
+
+    def test_fallback_lock_round_trip(self, tmp_path):
+        import os
+        path = tmp_path / "x.lock"
+        lock = FileLock(path)
+        with lock as held:
+            assert held.locked
+            # The lockfile itself is the lock and records the owner.
+            assert path.read_text().strip() == str(os.getpid())
+        assert not lock.locked
+        assert not path.exists()  # released by unlinking
+
+    def test_fallback_lock_excludes_contenders(self, tmp_path):
+        path = tmp_path / "x.lock"
+        holder = FileLock(path)
+        assert holder.acquire()
+        waiter = FileLock(path, timeout=0.1, poll=0.01)
+        assert not waiter.acquire()  # live same-pid owner: held
+        assert path.exists()
+        holder.release()
+        assert FileLock(path, timeout=0.5).acquire()
+
+    def test_fallback_breaks_stale_dead_pid_lock(self, tmp_path):
+        import os
+        path = tmp_path / "x.lock"
+        # Find a pid that cannot be alive: fork a child and reap it.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        path.write_text(str(pid))
+        lock = FileLock(path, timeout=1.0, poll=0.01)
+        assert lock.acquire()  # dead owner: stale lock broken
+        assert path.read_text().strip() == str(os.getpid())
+        lock.release()
+
+    def test_fallback_breaks_pidless_lock(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("")  # holder crashed between create and write
+        assert FileLock(path, timeout=1.0, poll=0.01).acquire()
+
+    def test_fallback_unwritable_dir_degrades(self, tmp_path):
+        missing = tmp_path / "file"
+        missing.write_text("x")
+        # Lock path nested under a *file*: mkdir fails, acquire is
+        # best-effort False rather than an exception.
+        lock = FileLock(missing / "nested" / "x.lock", timeout=0.1)
+        with lock as entered:
+            assert not entered.locked
+
+
 class TestResultCacheHardening:
     def test_corrupt_persistent_cache_is_quarantined(self, tmp_path,
                                                      capsys):
