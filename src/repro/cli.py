@@ -131,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
                                       "stall window (repeatable): the "
                                       "named unit skips every cycle "
                                       "in [START, END)")
+            command.add_argument("--trace", type=Path, default=None,
+                                 metavar="FILE",
+                                 help="enable telemetry and write a "
+                                      "Chrome trace-event JSON of the "
+                                      "lowering/simulation spans "
+                                      "(open in Perfetto); also "
+                                      "prints the engine profile")
 
     explore = sub.add_parser(
         "explore",
@@ -220,6 +227,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the persistent result cache "
                               "every N completed points, so a killed "
                               "sweep resumes from partial results")
+    explore.add_argument("--metrics", type=Path, default=None,
+                         metavar="FILE",
+                         help="enable telemetry and write the metrics "
+                              "snapshot (counters, gauges, histograms) "
+                              "as JSON; a Chrome trace is written "
+                              "alongside unless --trace names it")
+    explore.add_argument("--trace", type=Path, default=None,
+                         metavar="FILE",
+                         help="enable telemetry and write a Chrome "
+                              "trace-event JSON of the sweep's spans "
+                              "(process backend: one lane per worker, "
+                              "reconstructed from the run journal)")
 
     cache = sub.add_parser(
         "cache",
@@ -410,11 +429,19 @@ def _run(program: StencilProgram, args) -> int:
         deadlock_window=args.deadlock_window,
         fault_plan=fault_plan)
 
+    if args.trace is not None:
+        from . import obs
+        obs.enable()
+
     session = Session(program)
     device_of = None
     if args.devices > 1 or args.partition != "contiguous":
         device_of = session.placement(args.partition, args.devices)
-    result = session.run(inputs, config=config, device_of=device_of)
+    from .obs import span
+    with span("run.simulate", program=program.name,
+              engine=args.engine):
+        result = session.run(inputs, config=config,
+                             device_of=device_of)
     sim = result.simulation
     devices = 1 + max(device_of.values()) if device_of else 1
     print(f"engine: {resolve_engine_mode(config, device_of, program)} "
@@ -442,6 +469,15 @@ def _run(program: StencilProgram, args) -> int:
             print(f"  {line}")
     print(f"continuous output: {all(sim.output_continuous.values())}")
     print(f"validated against reference: {result.validated}")
+    if args.trace is not None:
+        from .obs import spans, write_chrome_trace
+        if sim.profile is not None:
+            for line in sim.profile.summary_lines():
+                print(line)
+        write_chrome_trace(args.trace, spans.tracer().records())
+        print(f"wrote trace {args.trace} "
+              f"({len(spans.tracer().records())} spans; open in "
+              f"Perfetto / chrome://tracing)")
     return 0 if result.validated else 1
 
 
@@ -510,6 +546,10 @@ def _explore(program: StencilProgram, args) -> int:
             edge = f"{src}:{dst}" + (f":{data}" if data else "")
             overrides.append((edge, rate))
         link_rate_sets.append(tuple(overrides))
+    telemetry = args.metrics is not None or args.trace is not None
+    if telemetry:
+        from . import obs
+        obs.enable()
     space = ConfigSpace(
         vectorizations=(tuple(args.widths) if args.widths
                         else default.vectorizations),
@@ -551,7 +591,40 @@ def _explore(program: StencilProgram, args) -> int:
           f"{report.simulated_points} simulated, "
           f"{report.cache_hits} cache hits, "
           f"{report.relowered_programs} analyses built)")
+    if telemetry:
+        _export_explore_telemetry(args)
     return 0
+
+
+def _export_explore_telemetry(args):
+    """Write the sweep's metrics snapshot and Chrome trace.
+
+    ``--metrics out.json`` alone produces both: the trace lands next
+    to it as ``out.trace.json``.  A copy of the snapshot is kept under
+    the cache root (``telemetry/last_explore_metrics.json``) so
+    ``repro cache stats`` can show the last instrumented sweep.
+    """
+    from .explore.cache import default_cache_dir
+    from .obs import metrics, spans, write_chrome_trace
+
+    if args.metrics is not None:
+        metrics.registry().save(args.metrics)
+        print(f"wrote metrics {args.metrics}")
+    trace_path = args.trace
+    if trace_path is None and args.metrics is not None:
+        trace_path = args.metrics.with_name(
+            args.metrics.stem + ".trace.json")
+    if trace_path is not None:
+        records = spans.tracer().records()
+        write_chrome_trace(trace_path, records)
+        print(f"wrote trace {trace_path} ({len(records)} spans; "
+              f"open in Perfetto / chrome://tracing)")
+    try:
+        last = default_cache_dir() / "telemetry"
+        last.mkdir(parents=True, exist_ok=True)
+        metrics.registry().save(last / "last_explore_metrics.json")
+    except OSError:
+        pass  # the cache-root copy is a convenience, never an error
 
 
 def _cache_inventory(cache_dir: Path):
@@ -616,11 +689,17 @@ def _cache(args) -> int:
         for run_dir in run_dirs:
             state = JobJournal.replay(run_dir / JOURNAL_NAME)
             shards = len(list(run_dir.glob("shard-*.json")))
+            telemetry = _run_dir_telemetry(run_dir)
+            telemetry_text = ""
+            if telemetry:
+                names = ", ".join(p.name for p in telemetry)
+                telemetry_text = f", telemetry: {names}"
             print(f"    {run_dir.name}: {state.summary()}, "
-                  f"{shards} result shard(s)")
+                  f"{shards} result shard(s){telemetry_text}")
         print(f"  quarantined files: {len(quarantine)}")
         for path in quarantine:
             print(f"    {path}")
+        _print_last_metrics(cache_dir)
         return 0
 
     # prune: quarantine leftovers and leftover run dirs always;
@@ -650,6 +729,10 @@ def _cache(args) -> int:
         targets = [result_cache,
                    result_cache.with_name(result_cache.name + ".lock")]
         targets.extend(spill_files)
+        telemetry_dir = cache_dir / "telemetry"
+        if telemetry_dir.is_dir():
+            targets.extend(sorted(p for p in telemetry_dir.iterdir()
+                                  if p.is_file()))
         for path in targets:
             if not path.exists():
                 continue
@@ -662,6 +745,42 @@ def _cache(args) -> int:
                       file=sys.stderr)
     print(f"pruned {removed} path(s)")
     return 0
+
+
+def _run_dir_telemetry(run_dir: Path):
+    """Telemetry files a supervised run left in its run dir.
+
+    The supervisor exports ``metrics.json`` and ``trace.json`` (the
+    journal-reconstructed worker timeline) at teardown when telemetry
+    is enabled; ``prune`` removes them with the run dir itself, under
+    the same live-pidfile safety rule.
+    """
+    return sorted(p for p in (run_dir / "metrics.json",
+                              run_dir / "trace.json") if p.is_file())
+
+
+def _print_last_metrics(cache_dir: Path):
+    """``cache stats`` section for the last instrumented sweep."""
+    import json
+
+    path = cache_dir / "telemetry" / "last_explore_metrics.json"
+    if not path.is_file():
+        return
+    try:
+        snap = json.loads(path.read_text())
+        counters = {rec["name"]: 0.0 for rec in snap["counters"]}
+        for rec in snap["counters"]:
+            counters[rec["name"]] += rec["value"]
+        detail = (f"{len(snap['counters'])} counters, "
+                  f"{len(snap['histograms'])} histograms")
+    except Exception as exc:
+        print(f"  last explore metrics: unreadable ({exc})")
+        return
+    print(f"  last explore metrics: {path.name} ({detail})")
+    for name in ("explore.sweeps", "explore.points_measured",
+                 "explore.cache_hits", "engine.cycles"):
+        if counters.get(name):
+            print(f"    {name}: {counters[name]:g}")
 
 
 def _run_dir_live(run_dir: Path) -> bool:

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 from ..core.program import StencilProgram
+from ..obs import metrics
 
 #: Environment override for where persistent caches live.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -120,8 +121,10 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                metrics.counter("result_cache.misses").inc()
             else:
                 self.hits += 1
+                metrics.counter("result_cache.hits").inc()
             return entry
 
     def put(self, fingerprint: str, simulation_key,
@@ -130,6 +133,7 @@ class ResultCache:
         with self._lock:
             self._entries[key] = measurement
             self._fresh.add(key)
+        metrics.counter("result_cache.puts").inc()
 
     def reset_stats(self):
         with self._lock:

@@ -28,6 +28,7 @@ from ..errors import (
 )
 from ..hardware.platform import FPGAPlatform, STRATIX10
 from ..lowering import default_cache as lowering_cache
+from ..obs import clock, metrics, span
 from ..simulator.engine import (
     SimulatorConfig,
     resolve_engine_mode,
@@ -146,7 +147,7 @@ def explore(program: StencilProgram,
         raise DefinitionError(
             f"unknown explore backend {backend!r} "
             f"(expected one of {', '.join(BACKENDS)})")
-    start = time.perf_counter()
+    start = clock.now()
     space = space or ConfigSpace.default_for(program, platform)
     cache = cache if cache is not None else ResultCache()
     if persist:
@@ -166,12 +167,15 @@ def explore(program: StencilProgram,
 
     # Stage 1: analytic pricing and pruning.
     pruner = Pruner(program, platform)
-    predictions = [pruner.predict(point) for point in points]
+    with span("explore.prune", program=program.name,
+              points=len(points)):
+        predictions = [pruner.predict(point) for point in points]
     by_point = {p.point: p for p in predictions}
 
     # Stage 2: the strategy picks the frontier worth simulating; the
     # baseline is always validated so the report can quote a speedup.
-    selected = list(strategy.select(predictions, baseline=base))
+    with span("explore.select", strategy=strategy.name):
+        selected = list(strategy.select(predictions, baseline=base))
     base_prediction = by_point[base]
     if base_prediction.feasible and base not in selected:
         selected.append(base)
@@ -182,19 +186,30 @@ def explore(program: StencilProgram,
     # (family-hash, machine) cache key.
     if inputs is None:
         inputs = default_inputs(program, seed)
-    checkpoint = (lambda: cache.save_persistent(cache_path)) \
-        if persist else None
+
+    def checkpoint_save():
+        # Timed through the obs clock so checkpoint latency is a
+        # first-class metric on both backends (the supervisor calls
+        # this same closure).
+        began = clock.now()
+        cache.save_persistent(cache_path)
+        metrics.histogram("explore.checkpoint_seconds").observe(
+            clock.now() - began)
+
+    checkpoint = checkpoint_save if persist else None
     frontier = [by_point[p] for p in selected]
     try:
-        measurements, failures = _run_backend(
-            backend, pruner, program, platform, frontier, inputs,
-            engine_mode, cache, workers, service,
-            deadlock_window=deadlock_window,
-            point_timeout=point_timeout,
-            retries=retries,
-            retry_backoff=retry_backoff,
-            checkpoint_every=checkpoint_every,
-            checkpoint=checkpoint)
+        with span("explore.simulate", backend=backend,
+                  frontier=len(frontier)):
+            measurements, failures = _run_backend(
+                backend, pruner, program, platform, frontier, inputs,
+                engine_mode, cache, workers, service,
+                deadlock_window=deadlock_window,
+                point_timeout=point_timeout,
+                retries=retries,
+                retry_backoff=retry_backoff,
+                checkpoint_every=checkpoint_every,
+                checkpoint=checkpoint)
     except (KeyboardInterrupt, SweepInterrupted):
         # Die cleanly: a final checkpoint makes the interrupted
         # sweep resumable, then the interrupt keeps propagating (the
@@ -203,9 +218,29 @@ def explore(program: StencilProgram,
             cache.save_persistent(cache_path)
         raise
 
+    # Backend-agnostic sweep totals: counted here, after the
+    # simulation stage returns, so thread and process sweeps report
+    # equivalent metric totals (the process backend's workers never
+    # need their own registry for these).
+    if metrics.enabled():
+        hits = sum(1 for _, hit in measurements.values() if hit)
+        metrics.counter("explore.sweeps").inc()
+        metrics.counter("explore.cache_hits").inc(hits)
+        metrics.counter("explore.points_measured").inc(
+            len(measurements) - hits)
+        for failure in failures.values():
+            metrics.counter("explore.points_failed",
+                            kind=failure.kind).inc()
+        for measurement, hit in measurements.values():
+            if not hit:
+                metrics.histogram("explore.point_seconds").observe(
+                    measurement.wall_seconds)
+
     # Stage 4: assemble, rank, and mark the Pareto frontier.
     lowering_hits1, relowered1 = artifacts.stats("analysis")
-    entries = _build_entries(predictions, measurements, failures, base)
+    with span("explore.report", entries=len(predictions)):
+        entries = _build_entries(predictions, measurements, failures,
+                                 base)
     report = ExplorationReport(
         program=program.name,
         shape=tuple(program.shape),
@@ -214,7 +249,7 @@ def explore(program: StencilProgram,
         seed=seed,
         space=space,
         entries=entries,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=clock.now() - start,
         cache_hits=cache.hits,
         lowering_cache_hits=lowering_hits1 - lowering_hits0,
         relowered_programs=relowered1 - relowered0,
@@ -325,13 +360,15 @@ def _simulate_frontier(pruner: Pruner,
             if prediction.link_rates_resolved else None,
             **({"deadlock_window": deadlock_window}
                if deadlock_window is not None else {}))
-        began = time.perf_counter()
-        result = simulate(prog_w, inputs, config,
-                          device_of=prediction.device_of)
+        began = clock.now()
+        with span("explore.point", point=point.label(),
+                  engine=resolved_engine):
+            result = simulate(prog_w, inputs, config,
+                              device_of=prediction.device_of)
         measurement = Measurement(
             simulated_cycles=result.cycles,
             sim_expected_cycles=result.expected_cycles,
-            wall_seconds=time.perf_counter() - began,
+            wall_seconds=clock.now() - began,
             # The same resolution that keys the entry: key and
             # metadata cannot diverge.
             engine=resolved_engine)
@@ -364,6 +401,7 @@ def _simulate_frontier(pruner: Pruner,
                         kind="error",
                         message=f"{type(exc).__name__}: {exc}",
                         attempts=attempts))
+                metrics.counter("explore.retries").inc()
                 time.sleep(retry_backoff * (2 ** (attempts - 1)))
 
     ordered = list(distinct.values())
@@ -406,6 +444,7 @@ def _simulate_frontier(pruner: Pruner,
             except FuturesTimeout:
                 future.cancel()
                 abandoned = True
+                metrics.counter("explore.timeouts").inc()
                 failures[key] = PointFailure(
                     kind="timeout",
                     message=f"simulation exceeded the per-point "

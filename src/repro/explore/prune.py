@@ -37,9 +37,29 @@ from ..lowering import (
     remote_edge_latency,
     remote_edges,
 )
+from ..obs import metrics
 from ..perf.pipeline import model_multi_device, model_performance
 from ..simulator.engine import resolve_link_rates
 from .space import ConfigPoint
+
+
+def reason_label(reason: Optional[str]) -> str:
+    """Coarse, bounded-cardinality label for a prune reason.
+
+    The free-text ``Prediction.reason`` strings embed point-specific
+    numbers; metrics labels must not, so each maps onto its check.
+    """
+    if not reason:
+        return "none"
+    if "does not divide" in reason:
+        return "vectorization-indivisible"
+    if reason.startswith("placement failed"):
+        return "placement"
+    if "overflows" in reason:
+        return "resource-overflow"
+    if "network" in reason or "link" in reason:
+        return "network"
+    return "other"
 
 
 @dataclass(frozen=True)
@@ -206,7 +226,21 @@ class Pruner:
     # -- the verdict ---------------------------------------------------------
 
     def predict(self, point: ConfigPoint) -> Prediction:
-        """Run every analytic check on ``point``."""
+        """Run every analytic check on ``point``.
+
+        Telemetry: counts the verdict on ``explore.points_priced``
+        and, when pruned, ``explore.points_pruned{reason=...}``.
+        """
+        prediction = self._predict(point)
+        if metrics.enabled():
+            metrics.counter("explore.points_priced").inc()
+            if not prediction.feasible:
+                metrics.counter(
+                    "explore.points_pruned",
+                    reason=reason_label(prediction.reason)).inc()
+        return prediction
+
+    def _predict(self, point: ConfigPoint) -> Prediction:
         width = point.vectorization
         if self.program.shape[-1] % width != 0:
             return Prediction(

@@ -24,6 +24,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
+from ..obs import metrics
+
 #: Default capacity of the process-wide cache.  Artifacts are small
 #: relative to simulation state, but sweeps over large spaces should
 #: not grow memory without bound; eviction is oldest-first.  Sized so
@@ -98,6 +100,8 @@ class ArtifactCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._hits[kind] = self._hits.get(kind, 0) + 1
+                metrics.counter("artifact_cache.hits",
+                                kind=kind).inc()
                 return self._entries[key]
             build_lock = self._building.setdefault(key,
                                                    threading.Lock())
@@ -107,6 +111,8 @@ class ArtifactCache:
                     if key in self._entries:
                         self._entries.move_to_end(key)
                         self._hits[kind] = self._hits.get(kind, 0) + 1
+                        metrics.counter("artifact_cache.hits",
+                                        kind=kind).inc()
                         return self._entries[key]
                 artifact = self._spill_load(key)
                 spilled = artifact is not None
@@ -115,17 +121,23 @@ class ArtifactCache:
                 with self._lock:
                     if spilled:
                         self._hits[kind] = self._hits.get(kind, 0) + 1
+                        metrics.counter("artifact_cache.spill_loads",
+                                        kind=kind).inc()
                     else:
                         # Count the miss only once something was
                         # actually built — a raising build is not an
                         # artifact.
                         self._misses[kind] = \
                             self._misses.get(kind, 0) + 1
+                        metrics.counter("artifact_cache.misses",
+                                        kind=kind).inc()
                     self._entries[key] = artifact
                     self._entries.move_to_end(key)
                     while len(self._entries) > self.max_entries:
                         self._entries.popitem(last=False)
                         self.evictions += 1
+                        metrics.counter(
+                            "artifact_cache.evictions").inc()
                 if not spilled:
                     self._spill_store(key, artifact)
         finally:
@@ -172,6 +184,8 @@ class ArtifactCache:
                 pickle.dump(artifact, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+            metrics.counter("artifact_cache.spill_stores",
+                            kind=self._kind(key)).inc()
         except Exception:
             pass
 

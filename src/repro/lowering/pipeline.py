@@ -23,6 +23,7 @@ from ..core.program import StencilProgram
 from ..errors import ValidationError
 from ..graph.dag import StencilGraph, node_device
 from ..hardware.platform import FPGAPlatform, STRATIX10
+from ..obs import span
 from ..transforms.canonicalize import fold_program
 from ..transforms.stencil_fusion import aggressive_fusion
 from .cache import ArtifactCache, content_key, default_cache
@@ -181,7 +182,12 @@ class Pass(ABC):
         if sig is None:
             return
         state.chain_key = content_key(self.name, state.chain_key, sig)
-        self.apply(state)
+        # A cache-served stage still gets its span — a near-zero
+        # duration is exactly how an incremental re-lower should look
+        # in the trace.
+        with span(f"lowering.{self.name}",
+                  program=getattr(state.program, "name", None)):
+            self.apply(state)
 
 
 class _TransformPass(Pass):
@@ -412,7 +418,8 @@ def analysis_for(program: StencilProgram,
         return analyze_buffers(program, graph=shared_graph,
                                edge_latency=edge_latency)
 
-    return cache.get_or_build(key, build)
+    with span("lowering.buffering", program=program.name):
+        return cache.get_or_build(key, build)
 
 
 def compiled_stencil(ast, mode: str = "cell"):
@@ -422,7 +429,9 @@ def compiled_stencil(ast, mode: str = "cell"):
     from ..simulator.compile import compile_stencil
     cache = default_cache()
     key = content_key("compile", mode, unparse(ast))
-    return cache.get_or_build(key, lambda: compile_stencil(ast, mode))
+    with span("lowering.sim-compile", mode=mode):
+        return cache.get_or_build(key,
+                                  lambda: compile_stencil(ast, mode))
 
 
 @dataclass
@@ -488,9 +497,10 @@ class LoweredProgram:
         from ..sdfg.build import build_sdfg
         analysis = self.analysis
         program = self.program
-        return self.cache.get_or_build(
-            content_key("sdfg", self.key),
-            lambda: build_sdfg(program, analysis))
+        with span("lowering.sdfg", program=program.name):
+            return self.cache.get_or_build(
+                content_key("sdfg", self.key),
+                lambda: build_sdfg(program, analysis))
 
     def code_package(self, partition=None) -> Dict[str, str]:
         """Generated OpenCL/host/SMI/reference sources."""

@@ -1,0 +1,93 @@
+"""Engine self-description: per-run plan-level statistics.
+
+Every simulation (scalar or batched) attaches an
+:class:`EngineProfile` to ``SimulationResult.profile``.  For the
+batched engine this is the plan-level story — how many slab passes
+were planned, how large the super-pattern windows grew, and how many
+cycles fell back to scalar stepping — which is the cheap alternative
+to per-cycle tracing (``simulate_traced``'s ~60–90x slowdown).
+
+The profile is built **once at end of run** from counters the engine
+already keeps, so it is always on and costs nothing on the hot path;
+window sizes are recorded per executed window (never per cycle) and
+capped at :data:`MAX_WINDOW_SAMPLES` samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Cap on retained per-window size samples; the aggregate counters
+#: (``window_count``/``window_cycles``) remain exact past the cap.
+MAX_WINDOW_SAMPLES = 256
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Plan-level statistics for one simulation run."""
+
+    engine: str                       #: "scalar" or "batched"
+    cycles: int                       #: total simulated cycles
+    wall_seconds: float               #: engine wall time (obs clock)
+    plan_count: int = 0               #: slab passes planned (batched)
+    scalar_cycles: int = 0            #: cycles stepped one-by-one
+    window_count: int = 0             #: super-pattern windows executed
+    window_cycles: int = 0            #: cycles covered by windows
+    #: Sizes (cycles) of the first executed windows, oldest first.
+    window_sizes: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def batched_cycles(self) -> int:
+        return max(self.cycles - self.scalar_cycles, 0)
+
+    @property
+    def scalar_fraction(self) -> float:
+        """Share of cycles that fell back to scalar stepping."""
+        if not self.cycles:
+            return 0.0
+        return self.scalar_cycles / self.cycles
+
+    @property
+    def mean_batch(self) -> Optional[float]:
+        """Average cycles retired per slab pass (batched engine)."""
+        if not self.plan_count:
+            return None
+        return self.batched_cycles / self.plan_count
+
+    @property
+    def cycles_per_second(self) -> Optional[float]:
+        if self.wall_seconds <= 0:
+            return None
+        return self.cycles / self.wall_seconds
+
+    def to_json(self) -> dict:
+        return {
+            "engine": self.engine,
+            "cycles": self.cycles,
+            "wall_seconds": self.wall_seconds,
+            "plan_count": self.plan_count,
+            "scalar_cycles": self.scalar_cycles,
+            "scalar_fraction": self.scalar_fraction,
+            "mean_batch": self.mean_batch,
+            "window_count": self.window_count,
+            "window_cycles": self.window_cycles,
+            "window_sizes": list(self.window_sizes),
+            "cycles_per_second": self.cycles_per_second,
+        }
+
+    def summary_lines(self) -> Tuple[str, ...]:
+        lines = [f"engine {self.engine}: {self.cycles} cycles in "
+                 f"{self.wall_seconds:.3f}s"]
+        if self.engine == "batched":
+            mean = self.mean_batch
+            lines.append(
+                f"  {self.plan_count} slab passes"
+                + (f" (mean batch {mean:.1f} cycles)" if mean else "")
+                + f", {self.scalar_cycles} scalar-fallback cycles "
+                  f"({self.scalar_fraction:.1%})")
+            if self.window_count:
+                lines.append(
+                    f"  {self.window_count} super-pattern windows "
+                    f"covering {self.window_cycles} cycles")
+        return tuple(lines)

@@ -43,6 +43,7 @@ from ..errors import ServiceUnavailable
 from ..explore.cache import Measurement, ResultCache, default_cache_dir
 from ..explore.report import PointFailure
 from ..faults.store import read_json_guarded
+from ..obs import journal_spans, metrics, spans, write_chrome_trace
 from ..simulator.engine import SimulatorConfig, resolve_engine_mode
 from .journal import JOURNAL_NAME, JobJournal, new_run_dir
 from .lease import Job, LeaseTable
@@ -203,9 +204,13 @@ class Supervisor:
 
         clean = False
         try:
-            self._spawn_up_to(self._target_workers())
-            while self._unresolved:
-                self._pump()
+            with spans.span("service.spawn",
+                            workers=self._target_workers()):
+                self._spawn_up_to(self._target_workers())
+            with spans.span("service.drain",
+                            jobs=len(self._unresolved)):
+                while self._unresolved:
+                    self._pump()
             self._journal.append(
                 "run_completed",
                 completed=len(self.outcomes) - self._cache_hits,
@@ -275,6 +280,13 @@ class Supervisor:
             "heartbeat_interval": self.cfg.heartbeat_interval,
             "shard_path": str(shard_path),
             "pidfile": str(pidfile),
+            # The spawn context starts workers in fresh interpreters,
+            # so an in-process metrics.enable() does not propagate;
+            # the payload carries it, and each worker persists its
+            # registry to a metrics shard adopted at compaction.
+            "telemetry": metrics.enabled(),
+            "metrics_path": str(self._run_dir /
+                                f"metrics-{worker_id}.json"),
         }
         try:
             ours, theirs = self._ctx.Pipe(duplex=True)
@@ -302,6 +314,8 @@ class Supervisor:
             worker_id, process, ours, shard_path, pidfile, now)
         self._journal.append("worker_spawned", worker=worker_id,
                              pid=process.pid)
+        metrics.counter("service.workers_spawned").inc()
+        metrics.gauge("service.workers_live").set(len(self._workers))
 
     # -- the control loop -----------------------------------------------------
 
@@ -354,6 +368,8 @@ class Supervisor:
         kind = message.get("type")
         now = time.monotonic()
         if kind == "heartbeat":
+            metrics.histogram("service.heartbeat_gap_seconds").observe(
+                now - handle.last_beat)
             handle.last_beat = now
             if handle.lease is not None:
                 handle.lease.renew(self.cfg.lease_ttl, now)
@@ -398,6 +414,7 @@ class Supervisor:
                 self._journal.append("lease_released",
                                      lease=message["lease_id"],
                                      worker=handle.worker_id)
+                metrics.counter("service.leases_released").inc()
             handle.last_beat = now
 
     def _resolve_measurement(self, job: Job, measurement: Measurement,
@@ -412,6 +429,9 @@ class Supervisor:
         self._journal.append("job_completed", job=job.job_id,
                              cycles=measurement.simulated_cycles,
                              recovered=recovered)
+        metrics.counter("service.jobs_completed").inc()
+        if recovered:
+            metrics.counter("service.jobs_recovered").inc()
         self._note_done()
 
     def _resolve_failure(self, job: Job, failure: PointFailure,
@@ -422,12 +442,15 @@ class Supervisor:
                              kind=failure.kind,
                              message=failure.message,
                              attempts=failure.attempts)
+        metrics.counter("service.jobs_failed",
+                        kind=failure.kind).inc()
         self._note_done()
 
     def _requeue(self, job: Job):
         self._queue.appendleft(job)
         self._journal.append("job_requeued", job=job.job_id,
                              deaths=job.deaths)
+        metrics.counter("service.jobs_requeued").inc()
 
     def _note_done(self):
         self._completed += 1
@@ -466,7 +489,12 @@ class Supervisor:
             pass
         self._journal.append("worker_dead", worker=handle.worker_id,
                              reason=reason)
+        # Coarse label: the parenthesized exit-code suffix is
+        # point-specific and must stay out of the label set.
+        metrics.counter("service.workers_dead",
+                        reason=reason.split(" (")[0]).inc()
         self._workers.pop(handle.worker_id, None)
+        metrics.gauge("service.workers_live").set(len(self._workers))
         try:
             handle.pidfile.unlink()
         except OSError:
@@ -500,6 +528,7 @@ class Supervisor:
                 lease.note_resolved(timeout_job_id)
             requeue, culprit, poisoned = \
                 self._leases.forfeit(lease.lease_id)
+            metrics.counter("service.leases_forfeited").inc()
             handle.lease = None
             for job in poisoned:
                 self._resolve_failure(job, PointFailure(
@@ -528,6 +557,7 @@ class Supervisor:
                 continue
             lease = self._leases.grant(handle.worker_id, batch, now)
             handle.lease = lease
+            metrics.counter("service.leases_granted").inc()
             self._journal.append(
                 "lease_granted", lease=lease.lease_id,
                 worker=handle.worker_id,
@@ -587,12 +617,48 @@ class Supervisor:
             except OSError:
                 pass
         self._workers.clear()
-        self._compact_shards()
+        with spans.span("service.compact"):
+            self._compact_shards()
         if self._journal is not None:
             self._journal.close()
+        self._export_telemetry()
         if clean and self._run_dir is not None \
                 and not self.cfg.resolved_keep_run_dir():
             shutil.rmtree(self._run_dir, ignore_errors=True)
+
+    def _export_telemetry(self):
+        """Reconstruct per-worker spans from the journal and drop
+        telemetry files into the run directory.
+
+        The journal already records every control-loop transition with
+        wall-clock timestamps, so one read at teardown yields a
+        ``service.run`` span, one lane per worker, and a span per
+        job/lease — no worker-side instrumentation.  When metrics or
+        tracing are enabled the run dir additionally gets
+        ``metrics.json`` / ``trace.json`` snapshots; they live and die
+        with the run dir (``repro cache prune`` rules apply).
+        """
+        if self._run_dir is None \
+                or not (spans.enabled() or metrics.enabled()):
+            return
+        if spans.enabled():
+            try:
+                records = JobJournal.read(
+                    self._run_dir / JOURNAL_NAME)
+                spans.tracer().extend(journal_spans(records))
+            except Exception:
+                pass  # telemetry must never fail the sweep
+        if metrics.enabled():
+            try:
+                metrics.registry().save(self._run_dir / "metrics.json")
+            except OSError:
+                pass
+        if spans.enabled():
+            try:
+                write_chrome_trace(self._run_dir / "trace.json",
+                                   spans.tracer().records())
+            except OSError:
+                pass
 
     def _compact_shards(self):
         """Fold per-worker shards into the shared result cache.
@@ -612,6 +678,15 @@ class Supervisor:
                 adopted += self.cache.adopt_serialized(data)
         if self._journal is not None and adopted:
             self._journal.append("shards_compacted", adopted=adopted)
+            metrics.counter("service.shards_adopted").inc(adopted)
+        if metrics.enabled():
+            # Fold each worker's registry into ours, so a process-
+            # backend sweep reports the same engine/cache totals a
+            # thread-backend sweep would.
+            for path in sorted(self._run_dir.glob("metrics-*.json")):
+                snap = read_json_guarded(path, quiet=True)
+                if isinstance(snap, dict):
+                    metrics.registry().merge_snapshot(snap)
 
 
 def simulate_frontier_supervised(

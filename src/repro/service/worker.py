@@ -34,6 +34,7 @@ from ..explore.cache import Measurement
 from ..explore.report import PointFailure
 from ..faults.store import write_json_atomic
 from ..lowering import LoweringConfig, lower
+from ..obs import clock, metrics
 from ..simulator.engine import SimulatorConfig, simulate
 
 #: Test-only chaos hook: a worker about to simulate a point whose
@@ -95,13 +96,13 @@ def _simulate_job(job: dict, program, platform, inputs,
         if prediction.link_rates_resolved else None,
         **({"deadlock_window": deadlock_window}
            if deadlock_window is not None else {}))
-    began = time.perf_counter()
+    began = clock.now()
     result = simulate(lowered.program, inputs, config,
                       device_of=prediction.device_of)
     return Measurement(
         simulated_cycles=result.cycles,
         sim_expected_cycles=result.expected_cycles,
-        wall_seconds=time.perf_counter() - began,
+        wall_seconds=clock.now() - began,
         engine=resolved_engine)
 
 
@@ -161,6 +162,23 @@ def worker_main(conn, worker_id: int, payload: dict):
     poison_label = os.environ.get(POISON_ENV) or None
     shard_path = payload["shard_path"]
     shard: dict = {}
+    # Telemetry rides the payload: the spawn context starts a fresh
+    # interpreter, so the supervisor's in-process enable() cannot
+    # reach us through module state.  The worker's registry persists
+    # to its own metrics shard after every lease (same durability
+    # slot as the result shard), and the supervisor adopts the
+    # totals at compaction via merge_snapshot.
+    metrics_path = payload.get("metrics_path")
+    if payload.get("telemetry"):
+        metrics.enable()
+
+    def save_metrics():
+        if metrics_path is None or not metrics.enabled():
+            return
+        try:
+            metrics.registry().save(metrics_path)
+        except OSError:
+            pass
 
     def send(message: dict):
         with send_lock:
@@ -205,9 +223,11 @@ def worker_main(conn, worker_id: int, payload: dict):
                 send({"type": "result", "worker": worker_id,
                       "job_id": job["job_id"],
                       "measurement": measurement.to_json()})
+            save_metrics()
             send({"type": "lease_done", "worker": worker_id,
                   "lease_id": message["lease_id"]})
     except (OSError, BrokenPipeError):
         return  # pipe gone mid-send: supervisor exited
     finally:
+        save_metrics()
         heartbeat.stop()

@@ -85,6 +85,7 @@ from .channel import (
     timely_prefix_length,
 )
 from ..lowering import compiled_stencil
+from ..obs.profile import MAX_WINDOW_SAMPLES, EngineProfile
 from .engine import SimulationResult, Simulator, deadlock_error
 from .units import SinkUnit, SourceUnit, StencilBookkeeping, schedule_reads
 
@@ -716,6 +717,20 @@ class BatchedSimulator(Simulator):
         self.scalar_cycles = 0
         self.window_count = 0
         self.window_cycles = 0
+        # Window sizes feed the run profile's histogram; capped so a
+        # pathological sweep of tiny windows cannot grow the list
+        # unboundedly (the count/cycle totals above stay exact).
+        self._window_sizes: List[int] = []
+
+    def _make_profile(self, cycles: int,
+                      wall_seconds: float) -> EngineProfile:
+        return EngineProfile(engine="batched", cycles=cycles,
+                             wall_seconds=wall_seconds,
+                             plan_count=self.plan_count,
+                             scalar_cycles=self.scalar_cycles,
+                             window_count=self.window_count,
+                             window_cycles=self.window_cycles,
+                             window_sizes=tuple(self._window_sizes))
 
     # -- construction --------------------------------------------------------
 
@@ -1710,6 +1725,8 @@ class BatchedSimulator(Simulator):
                     self._execute_window(window, now)
                     self.window_count += 1
                     self.window_cycles += window.cycles
+                    if len(self._window_sizes) < MAX_WINDOW_SAMPLES:
+                        self._window_sizes.append(window.cycles)
                     now += window.cycles
                     idle_streak = window.trailing_idle
                     continue

@@ -37,6 +37,8 @@ from ..lowering import (
     freeze_placement,
     lower,
 )
+from ..obs import clock, metrics
+from ..obs.profile import EngineProfile
 from .channel import Channel, NetworkLink
 from .units import SinkUnit, SourceUnit, StencilUnit, Unit
 
@@ -59,6 +61,11 @@ class SimulationResult:
         fault_report: per-link/per-unit fault accounting when a
             :class:`~repro.faults.plan.FaultPlan` was configured;
             ``None`` on fault-free runs.
+        profile: always-on plan-level engine statistics
+            (:class:`~repro.obs.profile.EngineProfile`): which engine
+            ran, wall time, and — for the batched engine — slab
+            passes, super-pattern windows, and scalar-fallback
+            cycles.  The cheap alternative to per-cycle tracing.
     """
 
     outputs: Dict[str, np.ndarray]
@@ -70,6 +77,7 @@ class SimulationResult:
     output_continuous: Dict[str, bool] = field(default_factory=dict)
     stencil_continuous: Dict[str, bool] = field(default_factory=dict)
     fault_report: Optional[FaultReport] = None
+    profile: Optional[EngineProfile] = None
 
     @property
     def model_accuracy(self) -> float:
@@ -171,6 +179,7 @@ class Simulator:
         self.sinks: Dict[str, SinkUnit] = {}
         self.sources: Dict[str, SourceUnit] = {}
         self._faults: Optional[FaultRuntime] = None
+        self._run_began: Optional[float] = None
 
     # -- machine construction ------------------------------------------------
 
@@ -215,6 +224,9 @@ class Simulator:
                         self.program.vectorization, dtype)
 
     def _build(self, inputs: Mapping[str, np.ndarray]):
+        # The profile's wall clock starts here: every engine's run()
+        # opens with _build, so the timing rule is engine-independent.
+        self._run_began = clock.now()
         program = self.program
         graph = self.graph
         config = self.config
@@ -303,6 +315,10 @@ class Simulator:
                   if hasattr(u, "stall_after_init")}
         occupancy = {c.name: c.max_occupancy
                      for c in self.channels.values()}
+        wall = (clock.now() - self._run_began
+                if self._run_began is not None else 0.0)
+        profile = self._make_profile(cycles, wall)
+        self._emit_run_metrics(profile)
         return SimulationResult(
             outputs=outputs,
             cycles=cycles,
@@ -317,7 +333,40 @@ class Simulator:
                                 if hasattr(u, "stall_after_init")},
             fault_report=(self._faults.report()
                           if self._faults is not None else None),
+            profile=profile,
         )
+
+    def _make_profile(self, cycles: int,
+                      wall_seconds: float) -> EngineProfile:
+        """Per-run execution profile.  The scalar engine advances one
+        cycle at a time, so every cycle is a scalar cycle; the batched
+        engine overrides this with its plan/window statistics."""
+        return EngineProfile(engine="scalar", cycles=cycles,
+                             wall_seconds=wall_seconds,
+                             scalar_cycles=cycles)
+
+    def _emit_run_metrics(self, profile: EngineProfile):
+        """One metrics transaction per completed run — never per cycle,
+        so the telemetry overhead contract (no-op when disabled, O(1)
+        per run when enabled) holds for arbitrarily long simulations."""
+        if not metrics.enabled():
+            return
+        engine = profile.engine
+        metrics.counter("engine.runs", engine=engine).inc()
+        metrics.counter("engine.cycles", engine=engine) \
+            .inc(profile.cycles)
+        metrics.histogram("engine.run_seconds", engine=engine) \
+            .observe(profile.wall_seconds)
+        if engine == "batched":
+            metrics.counter("engine.plans").inc(profile.plan_count)
+            metrics.counter("engine.scalar_fallback_cycles") \
+                .inc(profile.scalar_cycles)
+            metrics.counter("engine.windows").inc(profile.window_count)
+            metrics.counter("engine.window_cycles") \
+                .inc(profile.window_cycles)
+            sizes = metrics.histogram("engine.window_size_cycles")
+            for size in profile.window_sizes:
+                sizes.observe(float(size))
 
     def _step_cycle(self, now: int, on_progress=None) -> bool:
         """Step every link and unit through one cycle, applying the

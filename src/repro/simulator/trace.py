@@ -7,13 +7,14 @@ marks, per-cycle occupancy series (sampled), and a stall timeline.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..core.program import StencilProgram
-from ..errors import SimulationError
+from ..errors import SimulationError, ValidationError
 from .engine import (
     SimulationResult,
     Simulator,
@@ -62,10 +63,31 @@ class Trace:
 
 
 class TracingSimulator(Simulator):
-    """A :class:`Simulator` that records a :class:`Trace` while running."""
+    """A :class:`Simulator` that records a :class:`Trace` while running.
+
+    Per-cycle sampling requires scalar stepping, so this engine always
+    runs the scalar loop regardless of ``config.engine_mode``.  An
+    explicit ``"batched"`` request is an error (the batched engine
+    skips the cycles a trace samples); the default ``"auto"`` is
+    accepted with a warning, since ``"auto"`` would otherwise resolve
+    to the batched engine.  For batched-run statistics use
+    ``SimulationResult.profile`` instead of a trace.
+    """
 
     def __init__(self, analysis, config: Optional[SimulatorConfig] = None,
                  device_of=None, sample_every: int = 16):
+        config = config or SimulatorConfig()
+        if config.engine_mode == "batched":
+            raise ValidationError(
+                "tracing requires scalar stepping: engine_mode "
+                "'batched' cannot be traced per cycle (use "
+                "SimulationResult.profile for batched-run statistics)")
+        if config.engine_mode == "auto":
+            warnings.warn(
+                "tracing forces the scalar engine (engine_mode 'auto' "
+                "would pick 'batched'); per-plan batched statistics "
+                "are available on SimulationResult.profile",
+                UserWarning, stacklevel=3)
         super().__init__(analysis, config, device_of)
         self.trace = Trace(sample_every=sample_every)
 

@@ -128,6 +128,9 @@ class TestCSE:
         assert counts.data_dependent_branches == 1
 
 
+# Tracing forces the scalar engine; the default engine_mode "auto"
+# warns about the downgrade (tests/test_obs.py covers the warning).
+@pytest.mark.filterwarnings("ignore:tracing forces the scalar engine")
 class TestTracing:
     def test_trace_records_occupancy(self):
         # The diamond's fast edge holds words while the slow branch
