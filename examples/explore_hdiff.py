@@ -24,20 +24,20 @@ The same sweep is available from the shell as::
     python -m repro explore --program hdiff --shape 64,64,32
 """
 
-from repro.explore import ConfigSpace, explore
-from repro.programs import horizontal_diffusion
+from repro import api
+from repro.explore import ConfigSpace
 
 
 def main():
     # A reduced domain keeps the sweep interactive; the space still
     # covers W in {1..16}, 1-4 devices, and both placement strategies.
-    program = horizontal_diffusion(shape=(64, 64, 32))
+    program = api.resolve_program("hdiff", shape=(64, 64, 32))
     space = ConfigSpace.default_for(program)
     print(f"sweeping {space.size} configurations of "
           f"{program.name} over {program.shape}")
 
-    report = explore(program, space=space, strategy="greedy",
-                     beam_width=8)
+    report = api.explore(program, space=space, strategy="greedy",
+                         beam_width=8)
     print("\n".join(report.summary_lines()))
 
     # The Pareto frontier trades cycles against per-device resources:

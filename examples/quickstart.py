@@ -11,8 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import StencilProgram
-from repro.run import Session
+from repro import api
 
 # The paper's Lst. 1 program: five dependent stencils over a 32^3
 # domain, mixing 3D and 2D inputs and all three boundary conditions.
@@ -43,8 +42,8 @@ PROGRAM = {
 
 
 def main():
-    program = StencilProgram.from_json(PROGRAM)
-    session = Session(program)
+    session = api.session(PROGRAM)
+    program = session.program
 
     print(f"program: {program.name}, {len(program.stencils)} stencils "
           f"over {program.shape}")

@@ -21,7 +21,7 @@ from repro.perf import (
     roofline_gops,
 )
 from repro.programs import PAPER_CENSUS, horizontal_diffusion
-from repro.run import Session
+from repro import api
 from repro.transforms import aggressive_fusion
 
 
@@ -61,7 +61,7 @@ def main():
     # simulator executes every stencil per cell; 128x128x80 would work
     # but takes minutes in pure Python).
     small = horizontal_diffusion(shape=(24, 24, 8))
-    session = Session(small)
+    session = api.session(small)
     rng = np.random.default_rng(0)
     inputs = {}
     for name, spec in small.inputs.items():

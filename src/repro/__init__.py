@@ -8,14 +8,17 @@ simulator standing in for the paper's FPGA testbed.
 
 Quickstart::
 
-    from repro import StencilProgram
-    from repro.run import Session
+    from repro import api
 
-    program = StencilProgram.from_json_file("program.json")
-    session = Session(program)
-    result = session.run(inputs={...})
+    result = api.run("hdiff")                  # simulate + validate
+    report = api.explore("hdiff")              # design-space sweep
+    answer = api.query("hdiff")                # cached-front probe
+
+:mod:`repro.api` is the stable public surface — the CLI and the
+``repro serve`` HTTP endpoint route through the same functions.
 """
 
+from . import api
 from .core import StencilProgram
 from .errors import (
     AnalysisError,
@@ -39,4 +42,5 @@ __all__ = [
     "StencilFlowError",
     "StencilProgram",
     "__version__",
+    "api",
 ]

@@ -10,13 +10,18 @@ Mirrors the workflow of Fig. 13 from the shell:
   against the sequential reference.
 * ``explore``  — sweep the mapping design space (vectorization,
   devices, placement, network) and rank the surviving configurations.
+* ``serve``    — run the always-warm config-query HTTP service over
+  the cached Pareto fronts (``/v1/best``, ``/v1/pareto``, ...).
 * ``cache``    — inspect (``stats``) or clean (``prune``) the
-  persistent explore result cache, artifact spill, and service run
-  directories.
+  persistent explore result cache, artifact spill, report store,
+  serve artifacts, and service run directories.
 * ``list-programs`` — show the bundled program catalog.
 
 ``<program>`` is either a JSON program description or a catalog name
 (``repro list-programs``); short aliases like ``hdiff`` work too.
+
+Every command routes through the stable :mod:`repro.api` facade, so
+the shell and Python callers share one behavior.
 """
 
 from __future__ import annotations
@@ -43,7 +48,6 @@ from .perf import (
     program_census,
 )
 from .programs import ALIASES, available_programs, build
-from .run import Session
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,6 +244,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "(process backend: one lane per worker, "
                               "reconstructed from the run journal)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP config-query service over the cached Pareto fronts")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: loopback)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--backend", default="process",
+                       choices=("thread", "process"),
+                       help="explore backend for cache-miss sweeps "
+                            "(process: the supervised service)")
+    serve.add_argument("--max-devices", type=int, default=2,
+                       help="device budget of miss-triggered sweeps")
+    serve.add_argument("--beam", type=int, default=4,
+                       help="beam width of miss-triggered sweeps")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="simulator parallelism of miss sweeps")
+    serve.add_argument("--max-jobs", type=int, default=1,
+                       help="background sweeps allowed at once")
+    serve.add_argument("--no-query-log", action="store_true",
+                       help="do not append answered queries to "
+                            "<cache>/serve/query_log.jsonl")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="leave the metrics registry disabled "
+                            "(/v1/metricsz will be empty)")
+
     cache = sub.add_parser(
         "cache",
         help="inspect or clean the persistent explore/artifact caches")
@@ -295,6 +325,34 @@ def _parse_float_list(text: str):
             f"invalid list {text!r} (expected e.g. 1.0,0.5)")
 
 
+def _serve(args) -> int:
+    """``repro serve``: block on the config-query HTTP endpoint."""
+    from . import api
+    from .serve import DEFAULT_HOST, DEFAULT_PORT, ServeConfig
+
+    config = ServeConfig(
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        backend=args.backend,
+        max_devices=args.max_devices,
+        beam_width=args.beam,
+        workers=args.workers,
+        max_concurrent_jobs=args.max_jobs,
+        telemetry=not args.no_telemetry,
+        query_log=not args.no_query_log)
+    server = api.serve(config)
+    print(f"repro serve listening on {server.url} "
+          f"({len(server.index)} cached front(s), "
+          f"backend {config.backend}; Ctrl-C to stop)")
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _load_program(spec: str) -> StencilProgram:
     """Resolve a program argument: a JSON file path or a catalog name.
 
@@ -323,6 +381,8 @@ def main(argv=None) -> int:
             return _list_programs(args)
         if args.command == "cache":
             return _cache(args)
+        if args.command == "serve":
+            return _serve(args)
         program = _load_program(args.program)
         handler = {
             "info": _info,
@@ -433,7 +493,8 @@ def _run(program: StencilProgram, args) -> int:
         from . import obs
         obs.enable()
 
-    session = Session(program)
+    from . import api
+    session = api.session(program)
     device_of = None
     if args.devices > 1 or args.partition != "contiguous":
         device_of = session.placement(args.partition, args.devices)
@@ -531,7 +592,8 @@ def _restore_interrupt_handlers(previous):
 
 
 def _explore(program: StencilProgram, args) -> int:
-    from .explore import ConfigSpace, explore
+    from . import api
+    from .explore import ConfigSpace
     from .simulator import parse_link_rate_spec
 
     if args.shape is not None:
@@ -564,16 +626,17 @@ def _explore(program: StencilProgram, args) -> int:
     )
     previous = _install_interrupt_handlers()
     try:
-        report = explore(program, space=space, strategy=args.strategy,
-                         beam_width=args.beam, seed=args.seed,
-                         workers=args.workers,
-                         backend=args.backend,
-                         persist=(args.cache is not None
-                                  or not args.no_cache_persist),
-                         cache_path=args.cache,
-                         deadlock_window=args.deadlock_window,
-                         point_timeout=args.point_timeout,
-                         checkpoint_every=args.checkpoint_every)
+        report = api.explore(program, space=space,
+                             strategy=args.strategy,
+                             beam_width=args.beam, seed=args.seed,
+                             workers=args.workers,
+                             backend=args.backend,
+                             persist=(args.cache is not None
+                                      or not args.no_cache_persist),
+                             cache_path=args.cache,
+                             deadlock_window=args.deadlock_window,
+                             point_timeout=args.point_timeout,
+                             checkpoint_every=args.checkpoint_every)
     except SweepInterrupted as exc:
         # explore() already wrote a final checkpoint of the result
         # cache on its way out; report the conventional signal exit
@@ -685,6 +748,7 @@ def _cache(args) -> int:
             total = sum(p.stat().st_size for p in spill_files)
             print(f"  artifact spill: {len(spill_files)} file(s), "
                   f"{total} bytes ({spill_files[0].parent})")
+        _print_serve_artifacts(cache_dir)
         print(f"  service run dirs: {len(run_dirs)}")
         for run_dir in run_dirs:
             state = JobJournal.replay(run_dir / JOURNAL_NAME)
@@ -725,10 +789,26 @@ def _cache(args) -> int:
         except OSError as exc:
             print(f"could not remove {run_dir}: {exc}",
                   file=sys.stderr)
+    # Serve artifacts are derived state (the snapshot is rebuilt at
+    # server startup, the query log is a log): plain prune removes
+    # them.  The report store feeds the frontier index, so it goes
+    # only with --all, like the caches themselves.
+    from .explore import iter_stored_reports
+    from .serve import query_log_path, snapshot_path
+    for path in (snapshot_path(cache_dir), query_log_path(cache_dir)):
+        if not path.is_file():
+            continue
+        try:
+            path.unlink()
+            removed += 1
+            print(f"removed {path}")
+        except OSError as exc:
+            print(f"could not remove {path}: {exc}", file=sys.stderr)
     if args.prune_all:
         targets = [result_cache,
                    result_cache.with_name(result_cache.name + ".lock")]
         targets.extend(spill_files)
+        targets.extend(iter_stored_reports(cache_dir))
         telemetry_dir = cache_dir / "telemetry"
         if telemetry_dir.is_dir():
             targets.extend(sorted(p for p in telemetry_dir.iterdir()
@@ -745,6 +825,44 @@ def _cache(args) -> int:
                       file=sys.stderr)
     print(f"pruned {removed} path(s)")
     return 0
+
+
+def _print_serve_artifacts(cache_dir: Path):
+    """``cache stats`` section for the report store and serve state.
+
+    The report store (``<cache>/reports``) feeds the frontier index;
+    the snapshot (``serve/frontier_index.json``) says what the last
+    server run indexed; the query log (``serve/query_log.jsonl``)
+    records what it answered.
+    """
+    import json
+
+    from .explore import iter_stored_reports
+    from .serve import query_log_path, snapshot_path
+
+    reports = list(iter_stored_reports(cache_dir))
+    if reports:
+        total = sum(p.stat().st_size for p in reports)
+        print(f"  report store: {len(reports)} report(s), "
+              f"{total} bytes")
+    else:
+        print("  report store: empty")
+    snapshot = snapshot_path(cache_dir)
+    if snapshot.is_file():
+        try:
+            entries = len(json.loads(
+                snapshot.read_text()).get("entries", []))
+            detail = f"{entries} front(s)"
+        except Exception as exc:
+            detail = f"unreadable: {exc}"
+        print(f"  serve frontier index: {snapshot.name} ({detail}, "
+              f"{snapshot.stat().st_size} bytes)")
+    query_log = query_log_path(cache_dir)
+    if query_log.is_file():
+        with open(query_log) as handle:
+            lines = sum(1 for _ in handle)
+        print(f"  serve query log: {query_log.name} ({lines} "
+              f"queries, {query_log.stat().st_size} bytes)")
 
 
 def _run_dir_telemetry(run_dir: Path):

@@ -14,7 +14,16 @@ a ranked Pareto report::
 from .cache import Measurement, ResultCache, program_fingerprint
 from .explorer import BACKENDS, baseline_point, default_inputs, explore
 from .prune import Prediction, Pruner
-from .report import ExplorationEntry, ExplorationReport, PointFailure
+from .report import (
+    ExplorationEntry,
+    ExplorationReport,
+    PointFailure,
+    REPORT_SCHEMA_VERSION,
+    iter_stored_reports,
+    report_store_dir,
+    report_store_key,
+    upgrade_report_json,
+)
 from .search import (
     ExhaustiveSearch,
     GreedySearch,
@@ -36,6 +45,7 @@ __all__ = [
     "PointFailure",
     "Prediction",
     "Pruner",
+    "REPORT_SCHEMA_VERSION",
     "ResultCache",
     "SearchStrategy",
     "available_strategies",
@@ -43,5 +53,9 @@ __all__ = [
     "default_inputs",
     "explore",
     "get_strategy",
+    "iter_stored_reports",
     "program_fingerprint",
+    "report_store_dir",
+    "report_store_key",
+    "upgrade_report_json",
 ]

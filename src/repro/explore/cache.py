@@ -85,6 +85,12 @@ def program_fingerprint(program: StencilProgram) -> str:
     fingerprint and invalidates cached results.  This is the lowering
     pipeline's *family hash* (``LoweredProgram.family_hash``), so
     measurement-cache keys line up with artifact-cache keys.
+
+    It is also the first component of the serve frontier-index key
+    (:mod:`repro.serve.index`) — and it is *pure* (AST + JSON string
+    hashing, no lowering), which is what lets a warm ``/v1/best``
+    lookup resolve a program identity without ever touching the
+    artifact cache.
     """
     from ..lowering import program_content_hash
     return program_content_hash(program, normalize_width=True)

@@ -34,7 +34,7 @@ from ..simulator.engine import (
     resolve_engine_mode,
     simulate,
 )
-from .cache import Measurement, ResultCache
+from .cache import Measurement, ResultCache, program_fingerprint
 from .prune import Prediction, Pruner
 from .report import (
     ExplorationEntry,
@@ -253,12 +253,18 @@ def explore(program: StencilProgram,
         cache_hits=cache.hits,
         lowering_cache_hits=lowering_hits1 - lowering_hits0,
         relowered_programs=relowered1 - relowered0,
+        family_hash=program_fingerprint(program),
     )
     if persist and not cache.save_persistent(cache_path):
         import sys
         print("warning: could not write the persistent result cache "
               "(set REPRO_CACHE_DIR to a writable directory, or pass "
               "persist=False / --no-cache-persist)", file=sys.stderr)
+    if persist and report.best is not None:
+        # Feed the serve layer: a persisted sweep's Pareto front joins
+        # the report store, so `repro serve` answers this (program,
+        # shape, hardware) triple from memory instead of re-sweeping.
+        report.store()
     return report
 
 

@@ -8,11 +8,87 @@ the headline best-vs-baseline comparison.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, fields
-from typing import List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Iterator, List, Mapping, Optional, Tuple
 
+from ..errors import ParseError
 from .space import ConfigPoint, ConfigSpace
+
+#: Version stamped into every report JSON (and echoed by the serve
+#: layer's responses, which are built from the same entry models).
+#: History: version 1 covers every PR 3–8 era report — no
+#: ``schema_version`` field, ``lowering_cache_hits``/
+#: ``relowered_programs``/failure fields appearing over time; version
+#: 2 adds the stamp itself plus the top-level ``family_hash`` (the
+#: lowered-program identity the frontier index keys on).  Old reports
+#: load through :func:`upgrade_report_json`.
+REPORT_SCHEMA_VERSION = 2
+
+#: Subdirectory of the cache root where sweeps persist their reports
+#: (the corpus ``repro serve`` warm-loads its frontier index from).
+REPORT_STORE_DIRNAME = "reports"
+
+
+def upgrade_report_json(spec: Mapping) -> Tuple[dict, bool]:
+    """Normalize report JSON of any supported vintage to the current
+    schema.
+
+    Returns ``(upgraded_spec, changed)``.  PR 3–8 era reports carry no
+    ``schema_version``; they are treated as version 1 and upgraded by
+    filling the fields later PRs introduced (cache provenance counters,
+    the failure taxonomy, the ``family_hash``).  A report from a
+    *newer* schema than this build understands is rejected rather than
+    silently misread.
+    """
+    version = int(spec.get("schema_version", 1))
+    if version > REPORT_SCHEMA_VERSION:
+        raise ParseError(
+            f"report schema version {version} is newer than this "
+            f"build's {REPORT_SCHEMA_VERSION}; upgrade the repro "
+            f"package to read it")
+    if version == REPORT_SCHEMA_VERSION:
+        return dict(spec), False
+    out = dict(spec)
+    # v1 -> v2: stamp the version, default the provenance counters the
+    # PR 5 explorer introduced, and carry an (unknown) family hash.
+    out.setdefault("lowering_cache_hits", 0)
+    out.setdefault("relowered_programs", 0)
+    out.setdefault("family_hash", None)
+    out["schema_version"] = REPORT_SCHEMA_VERSION
+    return out, True
+
+
+def report_store_dir(cache_dir=None) -> Path:
+    """Where persisted exploration reports live (``<cache>/reports``)."""
+    from .cache import default_cache_dir
+    root = Path(cache_dir) if cache_dir is not None \
+        else default_cache_dir()
+    return root / REPORT_STORE_DIRNAME
+
+
+def report_store_key(family_hash: Optional[str], program: str,
+                     shape: Tuple[int, ...], platform: str) -> str:
+    """Content key of one stored report: the frontier-index identity.
+
+    One file per (lowered-program family, shape, hardware descriptor)
+    — a newer sweep over the same triple replaces the older report.
+    Reports whose family hash is unknown (upgraded ancient files) fall
+    back to the program name so they still land in the store.
+    """
+    identity = family_hash or f"name:{program}"
+    text = json.dumps([identity, list(shape), platform])
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+def iter_stored_reports(cache_dir=None) -> Iterator[Path]:
+    """Paths of every persisted report, deterministic order."""
+    store = report_store_dir(cache_dir)
+    if not store.is_dir():
+        return iter(())
+    return iter(sorted(store.glob("report-*.json")))
 
 
 @dataclass(frozen=True)
@@ -134,6 +210,12 @@ class ExplorationReport:
     #: ``relowered_programs == 0``.
     lowering_cache_hits: int = 0
     relowered_programs: int = 0
+    #: Content hash of the swept program *modulo vectorization* (the
+    #: measurement cache's family hash).  The serve layer's frontier
+    #: index keys on it, so a report answers queries for the same
+    #: program under any name or spelling.  ``None`` on reports
+    #: upgraded from schema versions that predate the stamp.
+    family_hash: Optional[str] = None
 
     # -- derived views -------------------------------------------------------
 
@@ -220,11 +302,13 @@ class ExplorationReport:
 
     def to_json(self) -> dict:
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "program": self.program,
             "shape": list(self.shape),
             "platform": self.platform,
             "strategy": self.strategy,
             "seed": self.seed,
+            "family_hash": self.family_hash,
             "space": self.space.to_json(),
             "wall_seconds": self.wall_seconds,
             "cache_hits": self.cache_hits,
@@ -248,6 +332,7 @@ class ExplorationReport:
 
     @classmethod
     def from_json(cls, spec: Mapping) -> "ExplorationReport":
+        spec, _ = upgrade_report_json(spec)
         return cls(
             program=spec["program"],
             shape=tuple(spec["shape"]),
@@ -261,6 +346,7 @@ class ExplorationReport:
             cache_hits=spec["cache_hits"],
             lowering_cache_hits=spec.get("lowering_cache_hits", 0),
             relowered_programs=spec.get("relowered_programs", 0),
+            family_hash=spec.get("family_hash"),
         )
 
     def save(self, path):
@@ -268,9 +354,50 @@ class ExplorationReport:
             json.dump(self.to_json(), handle, indent=2)
 
     @classmethod
-    def load(cls, path) -> "ExplorationReport":
+    def load(cls, path, upgrade_in_place: bool = False
+             ) -> "ExplorationReport":
+        """Read a report of any supported schema vintage.
+
+        With ``upgrade_in_place``, a file from an older schema is
+        rewritten atomically in the current one (the serve layer does
+        this while warm-loading its index, so the store converges on
+        one schema instead of re-upgrading every start).
+        """
         with open(path) as handle:
-            return cls.from_json(json.load(handle))
+            spec = json.load(handle)
+        upgraded_spec, changed = upgrade_report_json(spec)
+        report = cls.from_json(upgraded_spec)
+        if changed and upgrade_in_place:
+            from ..faults.store import write_json_atomic
+            try:
+                write_json_atomic(path, report.to_json())
+            except OSError:
+                pass  # read-only stores still serve, just un-upgraded
+        return report
+
+    # -- the report store ----------------------------------------------------
+
+    def store_path(self, cache_dir=None) -> Path:
+        """Where this report persists in the report store."""
+        key = report_store_key(self.family_hash, self.program,
+                               self.shape, self.platform)
+        return report_store_dir(cache_dir) / f"report-{key[:16]}.json"
+
+    def store(self, cache_dir=None) -> Optional[Path]:
+        """Persist this report into the store; ``None`` if unwritable.
+
+        The store is what ``repro serve`` warm-loads, so every
+        persisted sweep makes the service answer one more (program,
+        shape, hardware) triple without re-sweeping.
+        """
+        from ..faults.store import write_json_atomic
+        path = self.store_path(cache_dir)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            write_json_atomic(path, self.to_json())
+        except OSError:
+            return None
+        return path
 
     def ranking_signature(self) -> Tuple:
         """Timing-free identity of the sweep's outcome.

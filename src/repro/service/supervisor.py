@@ -84,6 +84,10 @@ class ServiceConfig:
         poll: control-loop wait granularity, seconds.
         join_timeout: grace period for worker shutdown before
             SIGKILL.
+        source: who requested the run (``"explore"`` for direct
+            sweeps, ``"serve"`` for cache-miss jobs from the query
+            service); journaled in ``run_started`` so run dirs can
+            be attributed during post-mortems.
     """
 
     workers: Optional[int] = None
@@ -98,6 +102,7 @@ class ServiceConfig:
     keep_run_dir: Optional[bool] = None
     poll: float = 0.05
     join_timeout: float = 5.0
+    source: str = "explore"
 
     def resolved_run_root(self) -> Path:
         if self.run_root is not None:
@@ -196,7 +201,8 @@ class Supervisor:
         self._journal.append(
             "run_started", program=self.program.name,
             engine=self.resolved_engine, jobs=len(self._queue),
-            workers=self._target_workers(), pid=os.getpid())
+            workers=self._target_workers(), pid=os.getpid(),
+            source=self.cfg.source)
         for job in self._queue:
             self._journal.append("job_enqueued", job=job.job_id,
                                  point=job.prediction.point.label(),

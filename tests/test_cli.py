@@ -234,6 +234,49 @@ class TestCacheCommand:
                      str(tmp_path)]) == 0
         assert not cache_file.exists()
 
+    def test_stats_lists_serve_artifacts(self, tmp_path, capsys):
+        """A persisted sweep feeds the report store; a server run
+        leaves the frontier-index snapshot and query log — ``cache
+        stats`` surfaces all three."""
+        from repro.serve import FrontierIndex, QueryLog
+        assert main(["explore", "--program", "laplace2d", "--shape",
+                     "16,16", "--widths", "1", "--output",
+                     str(tmp_path / "r.json")]) == 0
+        index, _ = FrontierIndex.warm_load()
+        index.save_snapshot()
+        QueryLog().record("best", "hit", query="laplace2d@16x16")
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "report store: 1 report(s)" in out
+        assert "serve frontier index: frontier_index.json " \
+               "(1 front(s)" in out
+        assert "serve query log: query_log.jsonl (1 queries" in out
+
+    def test_prune_cleans_serve_artifacts_keeps_reports(
+            self, tmp_path, capsys):
+        from repro.explore import iter_stored_reports
+        from repro.serve import (
+            FrontierIndex,
+            QueryLog,
+            query_log_path,
+            snapshot_path,
+        )
+        assert main(["explore", "--program", "laplace2d", "--shape",
+                     "16,16", "--widths", "1", "--output",
+                     str(tmp_path / "r.json")]) == 0
+        index, _ = FrontierIndex.warm_load()
+        index.save_snapshot()
+        QueryLog().record("best", "hit")
+        assert main(["cache", "prune"]) == 0
+        # Derived serve state goes; the report store survives plain
+        # prune and goes with --all.
+        assert not snapshot_path().exists()
+        assert not query_log_path().exists()
+        assert len(list(iter_stored_reports())) == 1
+        assert main(["cache", "prune", "--all"]) == 0
+        assert list(iter_stored_reports()) == []
+
 
 class TestLinkRateOverrides:
     def test_run_with_per_link_rate(self, program_file, capsys):

@@ -297,6 +297,36 @@ for i in range({rounds}):
 """
 
 
+class TestServeIntegration:
+    def test_miss_job_runs_on_supervised_backend(self):
+        """A serve cache miss funds a sweep on the supervised process
+        backend, and the resulting report lands in both the frontier
+        index and the report store."""
+        from repro import api
+        from repro.explore import iter_stored_reports
+        from repro.serve import FrontierIndex, JobManager
+
+        index = FrontierIndex()
+        manager = JobManager(
+            index, backend="process",
+            explore_kwargs={
+                "space": ConfigSpace(vectorizations=(1, 2)),
+                "strategy": "exhaustive"})
+        platform = api.resolve_platform(None)
+        job, created = manager.enqueue(
+            "laplace2d", (24, 24), platform,
+            ("family", (24, 24), platform.name))
+        assert created
+        assert manager.wait_all(300)
+        job = manager.get(job.job_id)
+        assert job.state == "done", job.error
+        assert len(index) == 1
+        assert len(list(iter_stored_reports())) == 1
+        entry, _ = index.locate("laplace2d", (24, 24), platform.name)
+        assert entry is not None
+        assert entry.best["simulated_cycles"] > 0
+
+
 class TestConcurrentPersistence:
     @pytest.mark.parametrize("locking", ["flock", "fallback"])
     def test_two_processes_hammer_one_cache(self, tmp_path, locking):

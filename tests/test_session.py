@@ -88,6 +88,35 @@ class TestSession:
                         device_of={"b0": 0})
 
 
+class TestDeprecatedRunKwargs:
+    """The pre-``repro.api`` spellings warn and forward for one
+    deprecation cycle."""
+
+    def test_engine_forwards_to_engine_mode(self):
+        session = Session(lst1_program())
+        with pytest.warns(DeprecationWarning, match="engine_mode"):
+            result = session.run(lst1_inputs(), engine="scalar")
+        assert result.validated
+
+    def test_placement_forwards_to_partition(self):
+        session = Session(lst1_program())
+        with pytest.warns(DeprecationWarning, match="partition"):
+            result = session.run(lst1_inputs(),
+                                 placement="contiguous", devices=2)
+        assert result.validated
+
+    def test_old_and_new_spelling_together_is_an_error(self):
+        session = Session(lst1_program())
+        with pytest.raises(ValidationError, match="not both"):
+            session.run(lst1_inputs(), engine="scalar",
+                        engine_mode="scalar")
+
+    def test_unknown_kwarg_still_a_type_error(self):
+        session = Session(lst1_program())
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            session.run(lst1_inputs(), engin="scalar")
+
+
 class TestHdiffEndToEnd:
     """The application study runs through the entire stack."""
 
