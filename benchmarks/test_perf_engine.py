@@ -21,6 +21,13 @@ on a reduced domain (its per-cell cost is domain-independent, and the
 full domain would take it tens of minutes).  Cells/second is the
 comparable metric.
 
+The **kernel** rows measure the compiled-replay engine added in PR 10:
+a cold run records the batched engine's control decisions and compiles
+them into a content-addressed slab kernel; the warm run replays it with
+no planning or per-window control.  Warm replay must beat the batched
+engine by >= 2x cells/second on the single-device paper-domain hdiff
+row, bitwise identical outputs guarded on the reduced domain.
+
 Results are written to ``benchmarks/BENCH_simulator.json`` so the
 performance trajectory is tracked across PRs.  ``PR1_CELLS_PER_SECOND``
 is the single-device throughput of the PR 1 batched engine re-measured
@@ -171,6 +178,39 @@ def _fractional_row(build):
     }
 
 
+def _kernel_row(build, batched_row):
+    """Cold record-and-compile vs warm replay on the paper domain,
+    with the bitwise guard against the batched engine on the reduced
+    domain (where a scalar cross-check already ran in ``_row``)."""
+    small = build(SCALAR_DOMAIN)
+    guard_batched, guard_result = _run(small, "batched")
+    _cold_small, _ = _run(small, "kernel")
+    guard_kernel, kernel_result = _run(small, "kernel")
+    assert kernel_result.cycles == guard_result.cycles
+    assert kernel_result.profile.kernel_cached
+    for name, expected in guard_result.outputs.items():
+        assert np.array_equal(expected, kernel_result.outputs[name],
+                              equal_nan=True), name
+
+    large = build(PAPER_DOMAIN)
+    cold, _ = _run(large, "kernel")
+    # The first replay lazily builds the native backend module (a
+    # one-time gcc invocation per kernel digest per process) and
+    # bitwise-validates its first chunk; absorb that before timing the
+    # steady-state replay.
+    first_replay, _ = _run(large, "kernel")
+    warm, warm_result = _run(large, "kernel")
+    assert warm_result.profile.kernel_cached
+    batched_cps = batched_row["batched"]["cells_per_second"]
+    return {
+        "cold_record_and_compile": cold,
+        "first_replay_with_backend_build": first_replay,
+        "warm_replay": warm,
+        "speedup_warm_vs_batched": round(
+            warm["cells_per_second"] / batched_cps, 1),
+    }
+
+
 def test_engine_throughput():
     hdiff = lambda shape: horizontal_diffusion(  # noqa: E731
         shape=shape, vectorization=VECTORIZATION)
@@ -180,6 +220,7 @@ def test_engine_throughput():
     four_device = _row(hdiff, device_count=4, latency=NETWORK_LATENCY)
     integer = _row(_int_chain)
     fractional = _fractional_row(hdiff)
+    kernel = _kernel_row(hdiff, single)
 
     vs_pr1 = round(single["batched"]["cells_per_second"]
                    / PR1_CELLS_PER_SECOND, 2)
@@ -192,6 +233,7 @@ def test_engine_throughput():
         "four_device": four_device,
         "integer_chain": integer,
         "fractional_rate": fractional,
+        "kernel_replay": kernel,
         "single_device_vs_pr1": {
             "pr1_cells_per_second": PR1_CELLS_PER_SECOND,
             "cells_per_second": single["batched"]["cells_per_second"],
@@ -212,6 +254,11 @@ def test_engine_throughput():
           f"super-pattern "
           f"{fractional['superpattern']['cells_per_second']:>10,} c/s | "
           f"{fractional['speedup_vs_per_delivery']}x vs per-delivery")
+    print(f"kernel   : batched "
+          f"{single['batched']['cells_per_second']:>10,} c/s | "
+          f"warm replay "
+          f"{kernel['warm_replay']['cells_per_second']:>10,} c/s | "
+          f"{kernel['speedup_warm_vs_batched']}x")
     print(f"single-device vs PR1 batched engine: {vs_pr1}x "
           f"(written to {BENCH_FILE.name})")
 
@@ -227,3 +274,6 @@ def test_engine_throughput():
     assert integer["speedup_cells_per_second"] >= 3.0
     assert fractional["speedup_vs_per_delivery"] >= 5.0
     assert fractional["speedup_cells_per_second"] >= 5.0
+    # Warm kernel replay skips planning and per-window control
+    # entirely; the PR 10 bar is >= 2x batched throughput.
+    assert kernel["speedup_warm_vs_batched"] >= 2.0

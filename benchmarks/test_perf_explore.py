@@ -1,0 +1,82 @@
+"""Config-parallel exploration throughput.
+
+``explore(config_parallel=True)`` groups frontier points that lower to
+the *same* program (equal family hash) and simulates the group as one
+representative full run plus a width-0 control run per remaining
+member — exact timing with no data movement, outputs shared from the
+representative.  On network-axis sweeps (latency x rate) every point
+shares the lowered program, so an N-point group costs ~one data pass
+instead of N.
+
+This benchmark sweeps a 12-point shared-program space both ways,
+checks the reports are identical, and requires the stacked sweep to be
+>= 3x faster wall-clock.  The result is merged into
+``benchmarks/BENCH_explore.json`` under ``"config_parallel"`` so the
+sweep-cost trajectory is tracked alongside the per-program sweeps.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.explore import ConfigSpace, ResultCache, explore
+from repro.programs import horizontal_diffusion
+
+BENCH_FILE = Path(__file__).parent / "BENCH_explore.json"
+
+SHAPE = (96, 96, 64)
+VECTORIZATION = 8
+
+#: Network-axis sweep: one lowered program, twelve machine variants.
+SPACE = ConfigSpace(vectorizations=(VECTORIZATION,),
+                    network_latencies=(8, 16, 24, 32, 40, 48),
+                    network_rates=(1.0, 0.5))
+
+
+def _sweep(program, **kwargs):
+    start = time.perf_counter()
+    report = explore(program, space=SPACE, strategy="exhaustive",
+                     workers=1, persist=False, cache=ResultCache(),
+                     **kwargs)
+    return time.perf_counter() - start, report
+
+
+def test_config_parallel_sweep():
+    program = horizontal_diffusion(shape=SHAPE,
+                                   vectorization=VECTORIZATION)
+    per_point_seconds, plain = _sweep(program)
+    stacked_seconds, stacked = _sweep(program, config_parallel=True)
+
+    # The stacked sweep must be a pure optimization: identical entries.
+    assert len(plain.entries) == len(stacked.entries)
+    simulated = 0
+    for a, b in zip(plain.entries, stacked.entries):
+        assert a.point == b.point
+        assert a.simulated == b.simulated
+        assert a.simulated_cycles == b.simulated_cycles
+        assert a.rank == b.rank
+        assert a.pareto == b.pareto
+        simulated += bool(a.simulated)
+    assert simulated >= 8
+
+    speedup = per_point_seconds / stacked_seconds
+    record = {
+        "workload": "horizontal_diffusion",
+        "shape": list(SHAPE),
+        "vectorization": VECTORIZATION,
+        "simulated_points": simulated,
+        "per_point_seconds": round(per_point_seconds, 4),
+        "config_parallel_seconds": round(stacked_seconds, 4),
+        "speedup": round(speedup, 1),
+    }
+    data = json.loads(BENCH_FILE.read_text()) \
+        if BENCH_FILE.exists() else {}
+    data["config_parallel"] = record
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+    print(f"\nper-point {per_point_seconds:.2f}s | config-parallel "
+          f"{stacked_seconds:.2f}s | {speedup:.1f}x "
+          f"(written to {BENCH_FILE.name})")
+
+    # PR 10 acceptance bar: >= 3x on an 8-point shared-program space.
+    assert speedup >= 3.0

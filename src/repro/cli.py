@@ -73,9 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument("--seed", type=int, default=0,
                                  help="random-input seed")
             command.add_argument("--engine", default="auto",
-                                 choices=("auto", "scalar", "batched"),
-                                 help="simulator engine (auto picks the "
-                                      "batched NumPy engine)")
+                                 choices=("auto", "scalar", "batched",
+                                          "kernel"),
+                                 help="simulator engine (auto picks "
+                                      "the compiled kernel engine "
+                                      "when a cached kernel exists, "
+                                      "the batched NumPy engine "
+                                      "otherwise)")
             command.add_argument("--shape", type=_parse_shape,
                                  default=None, metavar="I,J,K",
                                  help="override the program's iteration "
@@ -203,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "heartbeats, crash-loop quarantine); "
                               "'process' degrades to 'thread' when "
                               "workers cannot be spawned")
+    explore.add_argument("--config-parallel", action="store_true",
+                         help="stack frontier points that share one "
+                              "lowered program: one full simulation "
+                              "per group plus a width-0 control run "
+                              "per remaining point (identical cycle "
+                              "counts, ~one data pass per group); "
+                              "thread backend only")
     explore.add_argument("--output", "-o", type=Path,
                          default=Path("explore_report.json"),
                          help="where to write the ranked JSON report")
@@ -505,7 +516,12 @@ def _run(program: StencilProgram, args) -> int:
                              device_of=device_of)
     sim = result.simulation
     devices = 1 + max(device_of.values()) if device_of else 1
-    print(f"engine: {resolve_engine_mode(config, device_of, program)} "
+    # The profile names the engine that actually ran: "auto" upgrades
+    # to the kernel engine when a cached kernel exists, which
+    # resolve_engine_mode alone cannot see.
+    executed = (sim.profile.engine if sim.profile is not None
+                else resolve_engine_mode(config, device_of, program))
+    print(f"engine: {executed} "
           f"({devices} device{'s' if devices != 1 else ''}, "
           f"{args.partition} placement, "
           f"link rate {args.network_words_per_cycle:g} words/cycle)")
@@ -636,7 +652,8 @@ def _explore(program: StencilProgram, args) -> int:
                              cache_path=args.cache,
                              deadlock_window=args.deadlock_window,
                              point_timeout=args.point_timeout,
-                             checkpoint_every=args.checkpoint_every)
+                             checkpoint_every=args.checkpoint_every,
+                             config_parallel=args.config_parallel)
     except SweepInterrupted as exc:
         # explore() already wrote a final checkpoint of the result
         # cache on its way out; report the conventional signal exit
@@ -748,6 +765,7 @@ def _cache(args) -> int:
             total = sum(p.stat().st_size for p in spill_files)
             print(f"  artifact spill: {len(spill_files)} file(s), "
                   f"{total} bytes ({spill_files[0].parent})")
+        _print_kernel_artifacts(cache_dir)
         _print_serve_artifacts(cache_dir)
         print(f"  service run dirs: {len(run_dirs)}")
         for run_dir in run_dirs:
@@ -804,6 +822,16 @@ def _cache(args) -> int:
             print(f"removed {path}")
         except OSError as exc:
             print(f"could not remove {path}: {exc}", file=sys.stderr)
+    # Compiled simulator kernels are derived state too (the next run
+    # of the machine re-records and re-compiles them): plain prune
+    # removes them.
+    for path in _kernel_artifact_files(cache_dir):
+        try:
+            path.unlink()
+            removed += 1
+            print(f"removed {path}")
+        except OSError as exc:
+            print(f"could not remove {path}: {exc}", file=sys.stderr)
     if args.prune_all:
         targets = [result_cache,
                    result_cache.with_name(result_cache.name + ".lock")]
@@ -825,6 +853,34 @@ def _cache(args) -> int:
                       file=sys.stderr)
     print(f"pruned {removed} path(s)")
     return 0
+
+
+def _kernel_artifact_files(cache_dir: Path):
+    """Compiled simulator-kernel artifacts under one cache root."""
+    kernels = cache_dir / "kernels"
+    if not kernels.is_dir():
+        return []
+    return sorted(p for p in kernels.iterdir()
+                  if p.is_file() and p.suffix == ".json"
+                  and ".corrupt-" not in p.name)
+
+
+def _print_kernel_artifacts(cache_dir: Path):
+    """``cache stats`` section for the compiled simulator kernels:
+    on-disk artifact count/bytes plus this process's hit/miss counts
+    since load (zero/zero unless this process ran simulations)."""
+    from .simulator import kernel_cache_stats
+
+    files = _kernel_artifact_files(cache_dir)
+    hits, misses = kernel_cache_stats()
+    if files:
+        total = sum(p.stat().st_size for p in files)
+        print(f"  compiled kernels: {len(files)} artifact(s), "
+              f"{total} bytes ({hits} hit(s), {misses} miss(es) "
+              f"since load)")
+    else:
+        print(f"  compiled kernels: none ({hits} hit(s), "
+              f"{misses} miss(es) since load)")
 
 
 def _print_serve_artifacts(cache_dir: Path):

@@ -14,7 +14,7 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -88,7 +88,8 @@ def explore(program: StencilProgram,
             retry_backoff: float = 0.25,
             checkpoint_every: int = 16,
             backend: str = "thread",
-            service=None) -> ExplorationReport:
+            service=None,
+            config_parallel: bool = False) -> ExplorationReport:
     """Sweep ``program``'s design space and rank what survives.
 
     Args:
@@ -142,11 +143,26 @@ def explore(program: StencilProgram,
             thread backend with a warning.
         service: optional :class:`repro.service.ServiceConfig`
             overriding the process backend's supervision tunables.
+        config_parallel: group frontier points that share one lowered
+            program and simulate each group as a stack: a full
+            simulation of one representative plus a width-0 control
+            run (:func:`repro.simulator.control.simulate_control`) per
+            remaining point.  Cycle counts are bitwise identical (the
+            control engine replays the exact machine schedule); the
+            data pass — the dominant cost — runs once per group
+            instead of once per point.  A member whose control run
+            fails (deadlock, cycle cap, fault validation) is peeled
+            off to the ordinary per-point path.  Thread backend only.
     """
     if backend not in BACKENDS:
         raise DefinitionError(
             f"unknown explore backend {backend!r} "
             f"(expected one of {', '.join(BACKENDS)})")
+    if config_parallel and backend == "process":
+        raise DefinitionError(
+            "config_parallel is not supported on the process backend "
+            "(control-run stacking is an in-process optimization); "
+            "use backend='thread'")
     start = clock.now()
     space = space or ConfigSpace.default_for(program, platform)
     cache = cache if cache is not None else ResultCache()
@@ -209,7 +225,8 @@ def explore(program: StencilProgram,
                 retries=retries,
                 retry_backoff=retry_backoff,
                 checkpoint_every=checkpoint_every,
-                checkpoint=checkpoint)
+                checkpoint=checkpoint,
+                config_parallel=config_parallel)
     except (KeyboardInterrupt, SweepInterrupted):
         # Die cleanly: a final checkpoint makes the interrupted
         # sweep resumable, then the interrupt keeps propagating (the
@@ -293,10 +310,14 @@ def _run_backend(backend, pruner, program, platform, frontier,
             from dataclasses import replace
             config = replace(config,
                              workers=workers or _DEFAULT_WORKERS)
+        # config_parallel is rejected for this backend in explore();
+        # the supervisor does not know the flag.
+        supervised_kwargs = dict(kwargs)
+        supervised_kwargs.pop("config_parallel", None)
         try:
             return simulate_frontier_supervised(
                 program, platform, frontier, inputs, engine_mode,
-                cache, config, **kwargs)
+                cache, config, **supervised_kwargs)
         except ServiceUnavailable as exc:
             import sys
             print(f"warning: process backend unavailable ({exc}); "
@@ -325,7 +346,8 @@ def _simulate_frontier(pruner: Pruner,
                        retries: int = 1,
                        retry_backoff: float = 0.25,
                        checkpoint_every: int = 16,
-                       checkpoint=None
+                       checkpoint=None,
+                       config_parallel: bool = False
                        ) -> Tuple[Dict[Tuple, Tuple[Measurement, bool]],
                                   Dict[Tuple, PointFailure]]:
     """Measure every distinct machine among ``predictions``.
@@ -381,6 +403,46 @@ def _simulate_frontier(pruner: Pruner,
         cache.put(prediction.family_hash, key, measurement)
         return measurement, False
 
+    def measure_control(prediction: Prediction
+                        ) -> Tuple[Measurement, bool]:
+        """Re-time a group member with the width-0 control engine.
+
+        Sound because the group shares one lowered program, so the
+        member's outputs are configuration-independent; only the
+        machine schedule — which the control engine replays exactly —
+        differs per point.  Cycle counts are bitwise identical to the
+        member's full simulation."""
+        key = (resolved_engine,) + prediction.simulation_key
+        cached = cache.get(prediction.family_hash, key)
+        if cached is not None:
+            return cached, True
+        from ..simulator.control import simulate_control
+        point = prediction.point
+        prog_w = pruner.program_at(point)
+        config = SimulatorConfig(
+            network_words_per_cycle=point.network_words_per_cycle,
+            network_latency=point.network_latency,
+            min_channel_depth=point.min_channel_depth,
+            network_link_rates=dict(prediction.link_rates_resolved)
+            if prediction.link_rates_resolved else None,
+            **({"deadlock_window": deadlock_window}
+               if deadlock_window is not None else {}))
+        began = clock.now()
+        with span("explore.point", point=point.label(),
+                  engine="control"):
+            result = simulate_control(prog_w, inputs, config,
+                                      device_of=prediction.device_of)
+        measurement = Measurement(
+            simulated_cycles=result.cycles,
+            sim_expected_cycles=result.expected_cycles,
+            wall_seconds=clock.now() - began,
+            # Keyed and labelled like the full measurement it stands
+            # in for: cycle counts are engine-independent, so the
+            # cache entry is interchangeable with a full run's.
+            engine=resolved_engine)
+        cache.put(prediction.family_hash, key, measurement)
+        return measurement, False
+
     def measure(prediction: Prediction) -> Tuple[Measurement, bool]:
         attempts = 0
         while True:
@@ -411,9 +473,52 @@ def _simulate_frontier(pruner: Pruner,
                 time.sleep(retry_backoff * (2 ** (attempts - 1)))
 
     ordered = list(distinct.values())
+    group_list: Optional[List[List[Prediction]]] = None
+    if config_parallel:
+        by_family: Dict[str, List[Prediction]] = {}
+        for prediction in ordered:
+            by_family.setdefault(prediction.family_hash,
+                                 []).append(prediction)
+        group_list = list(by_family.values())
     outcomes: Dict[Tuple, Tuple[Measurement, bool]] = {}
     failures: Dict[Tuple, PointFailure] = {}
     completed = 0
+
+    def measure_group(group):
+        """One full simulation (the representative) plus a control run
+        per remaining member; failures peel the point off to the
+        ordinary per-point path.  Returns ``(key, outcome, failure)``
+        rows, one per member."""
+        if len(group) > 1:
+            metrics.counter("explore.config_parallel_groups").inc()
+        rows = []
+        rep_done = False
+        for prediction in group:
+            key = _machine_key(prediction)
+            if not rep_done:
+                # The representative — or, after a failed
+                # representative, the next member promoted to one.
+                try:
+                    rows.append((key, measure(prediction), None))
+                    rep_done = True
+                except _PointFailed as exc:
+                    rows.append((key, None, exc.failure))
+                continue
+            try:
+                outcome = measure_control(prediction)
+            except Exception:
+                # Divergent control flow (deadlock, cycle cap, fault
+                # validation) or an unexpected crash: re-run the point
+                # on the per-point path so its failure classification
+                # and retry policy are identical to a plain sweep.
+                try:
+                    rows.append((key, measure(prediction), None))
+                except _PointFailed as exc:
+                    rows.append((key, None, exc.failure))
+                continue
+            metrics.counter("explore.control_points").inc()
+            rows.append((key, outcome, None))
+        return rows
 
     def note_done():
         nonlocal completed
@@ -423,8 +528,50 @@ def _simulate_frontier(pruner: Pruner,
             checkpoint()
 
     max_workers = workers or _DEFAULT_WORKERS
+    n_tasks = len(group_list) if group_list is not None \
+        else len(ordered)
     use_pool = ((max_workers > 1 or point_timeout is not None)
-                and len(ordered) > 1)
+                and n_tasks > 1)
+    if group_list is not None:
+        def record(rows):
+            for key, outcome, failure in rows:
+                if failure is not None:
+                    failures[key] = failure
+                else:
+                    outcomes[key] = outcome
+                note_done()
+
+        if not use_pool:
+            for group in group_list:
+                record(measure_group(group))
+            return outcomes, failures
+        abandoned = False
+        pool = ThreadPoolExecutor(max_workers=max_workers)
+        try:
+            futures = [(g, pool.submit(measure_group, g))
+                       for g in group_list]
+            for group, future in futures:
+                try:
+                    rows = future.result(timeout=point_timeout)
+                except FuturesTimeout:
+                    future.cancel()
+                    abandoned = True
+                    metrics.counter("explore.timeouts").inc()
+                    for prediction in group:
+                        key = _machine_key(prediction)
+                        if key not in outcomes \
+                                and key not in failures:
+                            failures[key] = PointFailure(
+                                kind="timeout",
+                                message=f"simulation exceeded the "
+                                        f"per-point budget of "
+                                        f"{point_timeout:g}s")
+                            note_done()
+                    continue
+                record(rows)
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        return outcomes, failures
     if not use_pool:
         for prediction in ordered:
             try:

@@ -27,7 +27,7 @@ MAX_WINDOW_SAMPLES = 256
 class EngineProfile:
     """Plan-level statistics for one simulation run."""
 
-    engine: str                       #: "scalar" or "batched"
+    engine: str                       #: "scalar", "batched", or "kernel"
     cycles: int                       #: total simulated cycles
     wall_seconds: float               #: engine wall time (obs clock)
     plan_count: int = 0               #: slab passes planned (batched)
@@ -36,6 +36,15 @@ class EngineProfile:
     window_cycles: int = 0            #: cycles covered by windows
     #: Sizes (cycles) of the first executed windows, oldest first.
     window_sizes: Tuple[int, ...] = field(default_factory=tuple)
+    #: Super-pattern windows proved congruent modulo a *drifting*
+    #: occupancy vector (ramp/drain transients batched in one pass).
+    drift_windows: int = 0
+    #: Compiled slab passes executed by the kernel engine this run
+    #: (0 on a cold run, which interprets while it records).
+    kernel_slabs: int = 0
+    #: True when the kernel engine replayed a cached kernel (nothing
+    #: was interpreted); False on cold/interpreted runs.
+    kernel_cached: bool = False
 
     @property
     def batched_cycles(self) -> int:
@@ -73,13 +82,25 @@ class EngineProfile:
             "window_count": self.window_count,
             "window_cycles": self.window_cycles,
             "window_sizes": list(self.window_sizes),
+            "drift_windows": self.drift_windows,
+            "kernel_slabs": self.kernel_slabs,
+            "kernel_cached": self.kernel_cached,
             "cycles_per_second": self.cycles_per_second,
         }
 
     def summary_lines(self) -> Tuple[str, ...]:
         lines = [f"engine {self.engine}: {self.cycles} cycles in "
                  f"{self.wall_seconds:.3f}s"]
-        if self.engine == "batched":
+        if self.engine == "kernel":
+            if self.kernel_cached:
+                lines.append(
+                    f"  compiled kernel replayed: {self.kernel_slabs} "
+                    f"slab passes, 0 interpreted cycles")
+            else:
+                lines.append(
+                    "  kernel cold run: interpreted below, compiled "
+                    "kernel cached for the next run")
+        if self.engine in ("batched", "kernel") and not self.kernel_cached:
             mean = self.mean_batch
             lines.append(
                 f"  {self.plan_count} slab passes"
@@ -87,7 +108,9 @@ class EngineProfile:
                 + f", {self.scalar_cycles} scalar-fallback cycles "
                   f"({self.scalar_fraction:.1%})")
             if self.window_count:
+                drift = (f" ({self.drift_windows} drift-congruent)"
+                         if self.drift_windows else "")
                 lines.append(
                     f"  {self.window_count} super-pattern windows "
-                    f"covering {self.window_cycles} cycles")
+                    f"covering {self.window_cycles} cycles{drift}")
         return tuple(lines)

@@ -1,6 +1,6 @@
 """Cycle-level spatial-dataflow simulator (the FPGA stand-in).
 
-Two execution engines share one machine model:
+Several execution engines share one machine model:
 
 * the **scalar engine** (:class:`Simulator`) steps every unit once per
   cycle — simple, and the semantic reference;
@@ -9,7 +9,17 @@ Two execution engines share one machine model:
   provably repeats (min over channel free space and occupancy,
   latency-line room, phase boundaries, link delivery windows, remaining
   words) and executes all ``B`` cycles at once with NumPy slab
-  operations and vectorized stencil evaluation.
+  operations and vectorized stencil evaluation;
+* the **kernel engine** (:class:`KernelSimulator`) records a batched
+  run's control decisions into a content-addressed artifact and, on
+  every later run of the same machine, replays the whole simulation as
+  a cached compiled slab pass — no planning, no per-cycle control (see
+  ``docs/KERNELS.md``);
+* the **control engine** (:class:`ControlSimulator`) is the batched
+  engine over width-0 streams: exact timing with no data movement,
+  which is what lets ``explore(config_parallel=True)`` stack N
+  configurations of one program into ~one data pass
+  (:func:`simulate_stacked`).
 
 The batching invariant: **identical observable machine state at every
 stall point**.  Outputs are bitwise identical and ``cycles``,
@@ -22,7 +32,8 @@ links (closed-form credit schedule), integer-typed programs (native
 int64 slabs, exact to 2**63), and multi-device placements (deliveries
 planned from the full in-flight ring, so batches are bounded by channel
 capacity rather than the wire latency).  ``SimulatorConfig.engine_mode``
-selects ``"scalar"``, ``"batched"``, or ``"auto"`` (batched).
+selects ``"scalar"``, ``"batched"``, ``"kernel"``, or ``"auto"``
+(kernel when a cached artifact exists, batched otherwise).
 """
 
 from .batched import (
@@ -39,6 +50,7 @@ from .channel import (
     RateLimiter,
 )
 from .compile import ArrayCompiledStencil, CompiledStencil, compile_stencil
+from .control import ControlSimulator, simulate_control, simulate_stacked
 from .engine import (
     SimulationResult,
     Simulator,
@@ -49,6 +61,13 @@ from .engine import (
     resolve_engine_mode,
     resolve_link_rates,
     simulate,
+)
+from .kernel import (
+    KernelSimulator,
+    kernel_available,
+    kernel_cache_stats,
+    kernel_store_dir,
+    reset_kernel_cache_stats,
 )
 from .trace import Trace, TracingSimulator, simulate_traced
 from .units import SinkUnit, SourceUnit, StencilUnit
@@ -63,6 +82,8 @@ __all__ = [
     "BatchedStencilUnit",
     "Channel",
     "CompiledStencil",
+    "ControlSimulator",
+    "KernelSimulator",
     "NetworkLink",
     "RateLimiter",
     "SimulationResult",
@@ -75,10 +96,16 @@ __all__ = [
     "TracingSimulator",
     "build_simulator",
     "compile_stencil",
+    "kernel_available",
+    "kernel_cache_stats",
+    "kernel_store_dir",
     "make_simulator",
     "parse_link_rate_spec",
+    "reset_kernel_cache_stats",
     "resolve_engine_mode",
     "resolve_link_rates",
     "simulate",
+    "simulate_control",
+    "simulate_stacked",
     "simulate_traced",
 ]

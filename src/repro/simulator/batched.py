@@ -640,11 +640,14 @@ class _WindowPlan:
 
     __slots__ = ("period", "repeats", "events", "chan_push", "chan_pop",
                  "chan_deliver", "chan_peak", "end_credit",
-                 "trailing_idle")
+                 "trailing_idle", "drift")
 
     def __init__(self, period: int):
         self.period = period
         self.repeats = 1
+        # True when the repeats were proven congruent modulo a nonzero
+        # plain-channel occupancy drift (ramp/drain transient batching).
+        self.drift = False
         self.events: Dict[int, _WindowEvents] = {}
         # Per-channel words moved per window, keyed by id(channel).
         self.chan_push: Dict[int, int] = {}
@@ -717,6 +720,7 @@ class BatchedSimulator(Simulator):
         self.scalar_cycles = 0
         self.window_count = 0
         self.window_cycles = 0
+        self.drift_window_count = 0
         # Window sizes feed the run profile's histogram; capped so a
         # pathological sweep of tiny windows cannot grow the list
         # unboundedly (the count/cycle totals above stay exact).
@@ -730,7 +734,8 @@ class BatchedSimulator(Simulator):
                              scalar_cycles=self.scalar_cycles,
                              window_count=self.window_count,
                              window_cycles=self.window_cycles,
-                             window_sizes=tuple(self._window_sizes))
+                             window_sizes=tuple(self._window_sizes),
+                             drift_windows=self.drift_window_count)
 
     # -- construction --------------------------------------------------------
 
@@ -1256,6 +1261,50 @@ class BatchedSimulator(Simulator):
         latency_waited: set = set()
         flags: List[bool] = []
 
+        # Full/empty decision margins over window 1, per plain channel
+        # (links are held to strict congruence below).  A plain
+        # channel's ready count tracks its total exactly, so in repeat
+        # k every one of window 1's threshold checks sees the same
+        # occupancy displaced by (k-1)*d, where d is the channel's
+        # per-window drift — the minimum slack across the window's
+        # checks therefore bounds how many repeats preserve every
+        # decision (drifting-occupancy congruence, applied after the
+        # window runs).
+        nf_slack: Dict[int, int] = {}   # not-full:  capacity-1 - total
+        f_excess: Dict[int, int] = {}   # full:      total - capacity
+        ne_slack: Dict[int, int] = {}   # not-empty: ready - 1
+        e_slack: Dict[int, int] = {}    # empty:     -ready
+
+        def check_full(channel) -> bool:
+            key = id(channel)
+            occ = total[key]
+            is_full = occ >= channel.capacity
+            if not isinstance(channel, ArrayNetworkLink):
+                if is_full:
+                    margin = occ - channel.capacity
+                    if margin < f_excess.get(key, margin + 1):
+                        f_excess[key] = margin
+                else:
+                    margin = channel.capacity - 1 - occ
+                    if margin < nf_slack.get(key, margin + 1):
+                        nf_slack[key] = margin
+            return is_full
+
+        def check_empty(channel) -> bool:
+            key = id(channel)
+            avail = ready[key]
+            is_empty = avail <= 0
+            if not isinstance(channel, ArrayNetworkLink):
+                if is_empty:
+                    margin = -avail
+                    if margin < e_slack.get(key, margin + 1):
+                        e_slack[key] = margin
+                else:
+                    margin = avail - 1
+                    if margin < ne_slack.get(key, margin + 1):
+                        ne_slack[key] = margin
+            return is_empty
+
         def run_cycle(off: int) -> bool:
             now_v = now + off
             progressed = False
@@ -1283,7 +1332,7 @@ class BatchedSimulator(Simulator):
                     if src_next[key] >= unit.num_words:
                         continue
                     full = [c for c in unit.out_channels
-                            if total[id(c)] >= c.capacity]
+                            if check_full(c)]
                     if full:
                         ev.stalls += 1
                         ev.stall_reason = \
@@ -1299,7 +1348,11 @@ class BatchedSimulator(Simulator):
                     step = local[key]
                     line = lines[key]
                     if line and line[0] <= now_v:
-                        if not any(total[id(c)] >= c.capacity
+                        # check_full's short-circuit mirrors the scalar
+                        # engine; margins are only recorded for checks
+                        # that actually ran, which is exactly the set
+                        # replayed in every repeat.
+                        if not any(check_full(c)
                                    for c in unit.out_channels):
                             line.popleft()
                             for channel in unit.out_channels:
@@ -1312,7 +1365,7 @@ class BatchedSimulator(Simulator):
                               if unit.pop_start[f] <= step
                               < unit.pop_start[f] + unit.num_words]
                     empty = [f for f in needed
-                             if ready[id(unit.in_channels[f])] <= 0]
+                             if check_empty(unit.in_channels[f])]
                     if empty:
                         ev.stalls += 1
                         if step >= unit.init_words:
@@ -1342,7 +1395,7 @@ class BatchedSimulator(Simulator):
                     key = id(unit)
                     if sink_recv[key] >= unit.num_words:
                         continue
-                    if ready[id(unit.in_channel)] <= 0:
+                    if check_empty(unit.in_channel):
                         ev.stalls += 1
                         continue
                     pop_from(unit.in_channel)
@@ -1396,13 +1449,14 @@ class BatchedSimulator(Simulator):
         # start state shifted by exactly q cycles.  Then, by
         # determinism and time-translation invariance, every further
         # window repeats the same per-cycle actions until a schedule
-        # phase boundary is crossed.
+        # phase boundary is crossed.  Links are held to this strictly;
+        # plain channels may instead end displaced by a constant drift
+        # vector, handled below once their drifts are known.
         congruent = all(
             total[id(c)] == len(c)
-            and ready[id(c)] == len(c) - (
-                c.in_flight_len
-                if isinstance(c, ArrayNetworkLink) else 0)
-            for c in self.channels.values())
+            and ready[id(c)] == len(c) - c.in_flight_len
+            for c in self.channels.values()
+            if isinstance(c, ArrayNetworkLink))
         if congruent:
             for link in self.links:
                 key = id(link)
@@ -1441,6 +1495,34 @@ class BatchedSimulator(Simulator):
                         e != s + q for e, s in zip(end, start)):
                     congruent = False
                     break
+        drift: Dict[int, int] = {}
+        if congruent:
+            # Drifting-occupancy congruence: during ramp/drain
+            # transients the plain channels fill or empty by a constant
+            # d per window while the link and latency-line schedules
+            # already repeat.  Repeat k then sees window 1's state with
+            # each such channel displaced by (k-1)*d — the recorded
+            # full/empty margins bound the k for which every threshold
+            # decision is preserved, and preserved decisions replay the
+            # identical actions shifted by q, exactly as in the
+            # zero-drift proof.
+            for c in self.channels.values():
+                if isinstance(c, ArrayNetworkLink):
+                    continue
+                d = total[id(c)] - len(c)
+                if d:
+                    drift[id(c)] = d
+            for key, d in drift.items():
+                if d > 0:
+                    if key in nf_slack:
+                        repeats = min(repeats, 1 + nf_slack[key] // d)
+                    if key in e_slack:
+                        repeats = min(repeats, 1 + e_slack[key] // d)
+                else:
+                    if key in f_excess:
+                        repeats = min(repeats, 1 + f_excess[key] // -d)
+                    if key in ne_slack:
+                        repeats = min(repeats, 1 + ne_slack[key] // -d)
         if congruent:
             # Phase bound: repeats 2..k replay window 1's decisions only
             # while no unit crosses a schedule boundary (pop windows,
@@ -1474,8 +1556,23 @@ class BatchedSimulator(Simulator):
                     repeats = min(
                         repeats, (unit.num_words - unit.received - 1)
                         // len(ev.arrivals))
-            plan.repeats = max(1, repeats)
-        else:
+            if drift and repeats < 2:
+                # A drifting window that cannot repeat amortizes worse
+                # than the stretched transient below.
+                congruent = False
+            else:
+                plan.repeats = max(1, repeats)
+                if drift:
+                    plan.drift = True
+                    # Window 1's recorded peak is the lowest of the
+                    # repeats on a filling channel; the true high-water
+                    # mark lands in the last repeat.
+                    for key, d in drift.items():
+                        if d > 0:
+                            plan.chan_peak[key] = (
+                                plan.chan_peak.get(key, 0)
+                                + (plan.repeats - 1) * d)
+        if not congruent:
             # Transient (ramp, drain): no window can repeat because
             # occupancies still drift, but the virtual schedule is
             # exact for any stretch — keep extending it so the slab
@@ -1725,6 +1822,8 @@ class BatchedSimulator(Simulator):
                     self._execute_window(window, now)
                     self.window_count += 1
                     self.window_cycles += window.cycles
+                    if window.drift:
+                        self.drift_window_count += 1
                     if len(self._window_sizes) < MAX_WINDOW_SAMPLES:
                         self._window_sizes.append(window.cycles)
                     now += window.cycles

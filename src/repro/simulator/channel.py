@@ -603,8 +603,10 @@ class ArrayNetworkLink:
     def push(self, word):
         if self.full:
             raise SimulationError(f"push to full link {self.name!r}")
-        row = np.asarray(word, dtype=self.dtype).reshape(1, -1)
-        self._in_rows.push_rows(row)
+        row = np.asarray(word, dtype=self.dtype)
+        # reshape(1, -1) cannot infer a width from a size-0 row (the
+        # control-run engine streams width-0 words); spell it out.
+        self._in_rows.push_rows(row.reshape(1, row.size))
         self._in_times.push_rows(
             np.asarray([self._now + self.latency], dtype=np.int64))
         self.pushes += 1

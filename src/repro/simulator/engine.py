@@ -246,18 +246,9 @@ class Simulator:
                 self.channels[key] = self._make_channel(name, capacity,
                                                         edge.data)
 
-        index_names = program.index_names
         for name, spec in program.inputs.items():
             node_id = f"input:{name}"
-            if name not in inputs:
-                raise ValidationError(f"missing input array {name!r}")
-            data = np.asarray(inputs[name], dtype=spec.dtype.numpy)
-            expected = spec.shape(program.shape, index_names)
-            if data.shape != expected:
-                raise ValidationError(
-                    f"input {name!r}: expected shape {expected}, "
-                    f"got {data.shape}")
-            full = _broadcast(data, spec.dims, program.shape, index_names)
+            full = resolve_input_array(program, inputs, name, spec)
             outs = [self.channels[(e.src, e.dst, e.data)]
                     for e in graph.out_edges(node_id)]
             source = self._make_source(name, full, outs)
@@ -357,7 +348,7 @@ class Simulator:
             .inc(profile.cycles)
         metrics.histogram("engine.run_seconds", engine=engine) \
             .observe(profile.wall_seconds)
-        if engine == "batched":
+        if engine in ("batched", "kernel"):
             metrics.counter("engine.plans").inc(profile.plan_count)
             metrics.counter("engine.scalar_fallback_cycles") \
                 .inc(profile.scalar_cycles)
@@ -429,6 +420,26 @@ class Simulator:
         return self._collect_result(now)
 
 
+def resolve_input_array(program: StencilProgram,
+                        inputs: Mapping[str, np.ndarray],
+                        name: str, spec) -> np.ndarray:
+    """Validate and broadcast one input array.
+
+    Shared by every engine's ``_build`` *and* the kernel engine's
+    cache-hit path, so input validation errors are identical whether a
+    compiled kernel exists or not."""
+    if name not in inputs:
+        raise ValidationError(f"missing input array {name!r}")
+    data = np.asarray(inputs[name], dtype=spec.dtype.numpy)
+    expected = spec.shape(program.shape, program.index_names)
+    if data.shape != expected:
+        raise ValidationError(
+            f"input {name!r}: expected shape {expected}, "
+            f"got {data.shape}")
+    return _broadcast(data, spec.dims, program.shape,
+                      program.index_names)
+
+
 def deadlock_error(units, now: int, prefix: str = None,
                    simulator=None) -> DeadlockError:
     """Build the standard deadlock diagnostic from blocked units.
@@ -461,12 +472,19 @@ def resolve_engine_mode(config: SimulatorConfig,
     (bit-exact to 2**63), and multi-device placements batch across the
     full in-flight ring.  ``device_of`` and ``program`` are accepted
     for call-site compatibility; selection no longer depends on them.
+
+    ``"kernel"`` selects the compiled-kernel engine explicitly
+    (:mod:`repro.simulator.kernel`); ``"auto"`` resolves to
+    ``"batched"`` here, but :func:`make_simulator` upgrades an auto
+    run to the kernel engine when a compiled kernel for the machine is
+    already cached (the upgrade needs machine context this resolver
+    deliberately does not take).
     """
     mode = config.engine_mode
-    if mode not in ("auto", "scalar", "batched"):
+    if mode not in ("auto", "scalar", "batched", "kernel"):
         raise ValidationError(
             f"unknown engine_mode {mode!r} "
-            f"(expected 'auto', 'scalar', or 'batched')")
+            f"(expected 'auto', 'scalar', 'batched', or 'kernel')")
     if mode != "auto":
         return mode
     return "batched"
@@ -479,7 +497,23 @@ def make_simulator(analysis, config: SimulatorConfig = None,
     config = config or SimulatorConfig()
     program = analysis.program if isinstance(analysis, BufferingAnalysis) \
         else analysis
-    if resolve_engine_mode(config, device_of, program) == "batched":
+    resolved = resolve_engine_mode(config, device_of, program)
+    if resolved == "kernel":
+        from .kernel import KernelSimulator
+        return KernelSimulator(analysis, config, device_of=device_of)
+    if resolved == "batched":
+        if config.engine_mode == "auto" \
+                and isinstance(analysis, BufferingAnalysis):
+            # Auto prefers the kernel engine when (and only when) a
+            # compiled kernel for this exact machine is already on
+            # disk: a serve miss-job on a warm cache compiles and
+            # interprets nothing.  A cold cache stays on the batched
+            # engine — auto never pays a compile the caller didn't
+            # ask for.
+            from .kernel import KernelSimulator, kernel_available
+            if kernel_available(analysis, config, device_of):
+                return KernelSimulator(analysis, config,
+                                       device_of=device_of)
         from .batched import BatchedSimulator
         return BatchedSimulator(analysis, config, device_of=device_of)
     return Simulator(analysis, config, device_of=device_of)

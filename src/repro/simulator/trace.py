@@ -77,11 +77,12 @@ class TracingSimulator(Simulator):
     def __init__(self, analysis, config: Optional[SimulatorConfig] = None,
                  device_of=None, sample_every: int = 16):
         config = config or SimulatorConfig()
-        if config.engine_mode == "batched":
+        if config.engine_mode in ("batched", "kernel"):
             raise ValidationError(
-                "tracing requires scalar stepping: engine_mode "
-                "'batched' cannot be traced per cycle (use "
-                "SimulationResult.profile for batched-run statistics)")
+                f"tracing requires scalar stepping: engine_mode "
+                f"{config.engine_mode!r} cannot be traced per cycle "
+                f"(use SimulationResult.profile for batched/kernel-run "
+                f"statistics)")
         if config.engine_mode == "auto":
             warnings.warn(
                 "tracing forces the scalar engine (engine_mode 'auto' "

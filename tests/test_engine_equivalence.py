@@ -742,3 +742,202 @@ class TestEngineSelection:
         assert isinstance(simulator, BatchedSimulator)
         simulator.run(random_inputs(program))
         assert simulator.scalar_cycles == 0
+
+
+class TestKernelEngine:
+    """Batched vs compiled-kernel replay equivalence.
+
+    The kernel engine records a batched run's control decisions into a
+    content-addressed artifact and replays later runs as a cached slab
+    pass; its contract is the batched engine's contract verbatim.  The
+    artifact life cycle (invalidation, quarantine, backend ladder) is
+    covered by ``test_kernel.py`` — here we only enforce equivalence,
+    cold (record-and-compile) and warm (replay).
+    """
+
+    def _assert_kernel_matches(self, program, inputs, device_of=None,
+                               **config_kwargs):
+        batched = simulate(program, inputs,
+                           SimulatorConfig(engine_mode="batched",
+                                           **config_kwargs), device_of)
+        kernel_cfg = SimulatorConfig(engine_mode="kernel",
+                                     **config_kwargs)
+        # Cold (records via the batched engine, then compiles) and warm
+        # (pure replay) runs must both match; the in-process artifact
+        # cache may pre-warm the first run, which is fine — the replay
+        # path is guaranteed exercised by the second.
+        for _ in range(2):
+            kernel = simulate(program, inputs, kernel_cfg, device_of)
+            assert kernel.profile.engine == "kernel"
+            assert kernel.outputs.keys() == batched.outputs.keys()
+            for name in batched.outputs:
+                a, b = batched.outputs[name], kernel.outputs[name]
+                assert a.dtype == b.dtype, name
+                assert np.array_equal(a, b, equal_nan=True), \
+                    f"output {name!r} not bitwise identical"
+            for field in _EXACT_FIELDS:
+                assert getattr(batched, field) == \
+                    getattr(kernel, field), field
+        return batched, kernel
+
+    @pytest.mark.parametrize("name,kwargs", CATALOG_CASES,
+                             ids=[c[0] for c in CATALOG_CASES])
+    def test_catalog_programs(self, name, kwargs):
+        program = build(name, **kwargs)
+        self._assert_kernel_matches(program, random_inputs(program))
+
+    def test_fractional_rates_multi_device(self):
+        program = lst1_program((8, 8, 8)).with_vectorization(4)
+        names = program.stencil_names
+        device_of = {n: (0 if i < len(names) // 2 else 1)
+                     for i, n in enumerate(names)}
+        self._assert_kernel_matches(
+            program, lst1_inputs((8, 8, 8)), device_of,
+            network_words_per_cycle=1 / 3, network_latency=16)
+
+    def test_int64_beyond_2_53(self):
+        program = _int_program(dtype="int64")
+        inputs = {"a": np.full(32, (1 << 60) + 1, dtype=np.int64)}
+        batched, _kernel = self._assert_kernel_matches(program, inputs)
+        assert any(np.abs(arr.astype(np.float64)).max() > 2 ** 53
+                   for arr in batched.outputs.values())
+
+    def test_fault_plan_replayed(self):
+        from repro.faults import FaultPlan, UnitStall
+        program = chain_program(3)
+        plan = FaultPlan(unit_stalls=(UnitStall("s1", 50, 120),))
+        batched, _kernel = self._assert_kernel_matches(
+            program, random_inputs(program), fault_plan=plan)
+        assert batched.fault_report is not None
+
+
+class TestStackedSimulation:
+    """Control-run stacking: ``simulate_stacked`` runs one program under
+    N configurations for ~one data pass, and every member's timing must
+    be bitwise identical to an independent full simulation."""
+
+    def _assert_stacked_matches(self, program, inputs, configs,
+                                device_ofs=None):
+        from repro.simulator import simulate_stacked
+        stacked = simulate_stacked(program, inputs, configs, device_ofs)
+        if device_ofs is None:
+            device_ofs = [None] * len(configs)
+        assert len(stacked) == len(configs)
+        for config, device_of, member in zip(configs, device_ofs,
+                                             stacked):
+            full = simulate(program, inputs, config, device_of)
+            for field in _EXACT_FIELDS:
+                assert getattr(full, field) == \
+                    getattr(member, field), field
+            assert member.outputs.keys() == full.outputs.keys()
+            for name in full.outputs:
+                assert np.array_equal(full.outputs[name],
+                                      member.outputs[name],
+                                      equal_nan=True), name
+        return stacked
+
+    def test_members_match_full_runs(self):
+        program = build("laplace2d", shape=(16, 16))
+        configs = [
+            SimulatorConfig(network_latency=latency,
+                            network_words_per_cycle=rate)
+            for latency in (1, 8, 32)
+            for rate in (1.0, 0.5, 1 / 3)
+        ]
+        self._assert_stacked_matches(program, random_inputs(program),
+                                     configs)
+
+    def test_multi_device_members(self):
+        program = chain_program(3, shape=(4, 4, 8))
+        names = program.stencil_names
+        placements = [
+            None,
+            {n: min(i, 1) for i, n in enumerate(names)},
+        ]
+        configs = [SimulatorConfig(network_latency=8)] * len(placements)
+        self._assert_stacked_matches(program, random_inputs(program),
+                                     configs, placements)
+
+    def test_member_deadlock_propagates(self):
+        from repro.simulator import simulate_stacked
+        program = diamond_program(long_branch=2)
+        inputs = random_inputs(program)
+        caps = {k: 2 for k in edge_keys(program)}
+        healthy = SimulatorConfig()
+        doomed = SimulatorConfig(channel_capacities=caps,
+                                 deadlock_window=64)
+        with pytest.raises(DeadlockError) as stacked_err:
+            simulate_stacked(program, inputs, [healthy, doomed])
+        with pytest.raises(DeadlockError) as full_err:
+            simulate(program, inputs, doomed)
+        assert stacked_err.value.cycle == full_err.value.cycle
+        assert stacked_err.value.blocked_units == \
+            full_err.value.blocked_units
+
+
+class TestConfigParallelExplore:
+    """``explore(config_parallel=True)`` stacks same-program points
+    behind one representative full run; the report must be identical to
+    the plain per-point sweep."""
+
+    def _reports(self, workers):
+        from repro.explore import ConfigSpace, ResultCache, explore
+        program = build("laplace2d", shape=(16, 16))
+        space = ConfigSpace(vectorizations=(4,),
+                            network_latencies=(8, 16, 24, 32),
+                            network_rates=(1.0, 0.5))
+        kwargs = dict(space=space, strategy="exhaustive",
+                      workers=workers, persist=False)
+        plain = explore(program, cache=ResultCache(), **kwargs)
+        stacked = explore(program, cache=ResultCache(),
+                          config_parallel=True, **kwargs)
+        return plain, stacked
+
+    @pytest.mark.parametrize("workers", [1, 4],
+                             ids=["serial", "pool"])
+    def test_reports_identical(self, workers):
+        plain, stacked = self._reports(workers)
+        assert len(plain.entries) == len(stacked.entries)
+        assert len(plain.entries) >= 8
+        for a, b in zip(plain.entries, stacked.entries):
+            assert a.point == b.point
+            assert a.simulated == b.simulated
+            assert a.simulated_cycles == b.simulated_cycles
+            assert a.rank == b.rank
+            assert a.pareto == b.pareto
+
+    def test_process_backend_rejected(self):
+        from repro.errors import DefinitionError
+        from repro.explore import explore
+        program = build("laplace2d", shape=(16, 16))
+        with pytest.raises(DefinitionError, match="config_parallel"):
+            explore(program, config_parallel=True, backend="process",
+                    persist=False)
+
+
+class TestDriftWindows:
+    """Drifting-occupancy congruence: transient ramp/drain windows whose
+    plain channels fill or drain at a constant per-window rate batch as
+    repeated windows (with margin-clamped repeat counts) instead of
+    stretching cycle by cycle — and stay bitwise exact."""
+
+    def test_fractional_rate_ramp_batches_with_drift(self):
+        program = lst1_program((16, 16, 16)).with_vectorization(4)
+        names = program.stencil_names
+        device_of = {n: (0 if i < len(names) // 2 else 1)
+                     for i, n in enumerate(names)}
+        inputs = lst1_inputs((16, 16, 16))
+        scalar, batched = assert_equivalent(
+            program, inputs, device_of,
+            network_words_per_cycle=1 / 3, network_latency=16)
+        # The contract check above is the point; this asserts the new
+        # mechanism actually fired on a config known to ramp gradually.
+        assert batched.profile.drift_windows > 0
+        assert batched.profile.drift_windows <= \
+            batched.profile.window_count
+
+    def test_drift_absent_on_trivial_config(self):
+        program = build("laplace2d", shape=(16, 16))
+        _scalar, batched = assert_equivalent(program,
+                                             random_inputs(program))
+        assert batched.profile.drift_windows >= 0
